@@ -1,0 +1,63 @@
+#include "bench_common.hh"
+
+#include <cstdio>
+
+#include "support/logging.hh"
+
+namespace lbp
+{
+namespace bench
+{
+
+const std::vector<int> &
+figureBufferSizes()
+{
+    static const std::vector<int> sizes{16, 32, 64, 128, 256, 512,
+                                        1024, 2048};
+    return sizes;
+}
+
+std::unique_ptr<CompileResult>
+compileBench(const std::string &name, OptLevel level)
+{
+    Program prog = workloads::buildWorkload(name);
+    CompileOptions opts;
+    opts.level = level;
+    auto cr = std::make_unique<CompileResult>();
+    compileProgram(prog, opts, *cr);
+    return cr;
+}
+
+SimStats
+simulate(CompileResult &cr, int bufferOps, PredMode mode)
+{
+    reallocateBuffers(cr, bufferOps);
+    SimConfig sc;
+    sc.bufferOps = bufferOps;
+    sc.predMode = mode;
+    VliwSim sim(cr.code, sc);
+    SimStats st = sim.run();
+    LBP_ASSERT(st.checksum == cr.goldenChecksum,
+               "simulation checksum mismatch for ", cr.ir.name);
+    return st;
+}
+
+std::vector<std::string>
+benchNames()
+{
+    std::vector<std::string> names;
+    for (const auto &w : workloads::allWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
+void
+rule(char c, int n)
+{
+    for (int i = 0; i < n; ++i)
+        std::putchar(c);
+    std::putchar('\n');
+}
+
+} // namespace bench
+} // namespace lbp

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: compile a
+ * workload under both configurations, run the simulator across buffer
+ * sizes, and format result tables.
+ */
+
+#ifndef LBP_BENCH_COMMON_HH
+#define LBP_BENCH_COMMON_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hh"
+#include "core/metrics.hh"
+#include "power/fetch_energy.hh"
+#include "sim/vliw_sim.hh"
+#include "workloads/registry.hh"
+
+namespace lbp
+{
+namespace bench
+{
+
+/** The buffer sizes swept by Figure 7. */
+const std::vector<int> &figureBufferSizes();
+
+/** Compile one workload at one level (verifying checksums). */
+std::unique_ptr<CompileResult> compileBench(const std::string &name,
+                                            OptLevel level);
+
+/** Simulate with a buffer size; checks the checksum. */
+SimStats simulate(CompileResult &cr, int bufferOps,
+                  PredMode mode = PredMode::SLOT);
+
+/** The Table-1 benchmark names. */
+std::vector<std::string> benchNames();
+
+/** Print a horizontal rule. */
+void rule(char c = '-', int n = 78);
+
+} // namespace bench
+} // namespace lbp
+
+#endif // LBP_BENCH_COMMON_HH

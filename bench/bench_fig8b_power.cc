@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 8b: estimated instruction fetch power, normalized to
+ * buffer-less issue of traditionally-optimized code. Three bars per
+ * benchmark: unbuffered baseline (1.0), "baseline buffered"
+ * (traditional code + 256-op buffer; paper average -34.6%), and
+ * "transformed buffered" (aggressive code + 256-op buffer; paper
+ * average -72.3%). Per-access energies come from the CACTI-calibrated
+ * model (41.8x memory/buffer ratio at 256 ops / 512 KB, §7.2).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "support/stats.hh"
+
+using namespace lbp;
+using namespace lbp::bench;
+
+int
+main()
+{
+    std::printf("=== Figure 8b: normalized instruction fetch power "
+                "===\n\n");
+    const CactiLite model;
+    std::printf("CACTI-lite calibration: memory/buffer per-access "
+                "ratio = %.1fx (paper: 41.8x)\n\n",
+                model.calibratedRatio());
+
+    std::printf("%-12s %12s %14s %16s\n", "benchmark", "unbuffered",
+                "base-buffered", "transformed");
+    rule();
+
+    double sumBase = 0, sumTrans = 0;
+    int n = 0;
+    for (const auto &name : benchNames()) {
+        auto trad = compileBench(name, OptLevel::Traditional);
+        auto aggr = compileBench(name, OptLevel::Aggressive);
+        const SimStats st = simulate(*trad, 256);
+        const SimStats sa = simulate(*aggr, 256);
+
+        const double unbuffered =
+            unbufferedEnergyNj(st.opsFetched, model);
+        const double baseBuffered =
+            computeFetchEnergy(st, 256, model).totalNj;
+        const double transformed =
+            computeFetchEnergy(sa, 256, model).totalNj;
+
+        const double b = baseBuffered / unbuffered;
+        const double t = transformed / unbuffered;
+        std::printf("%-12s %12.3f %14.3f %16.3f\n", name.c_str(), 1.0,
+                    b, t);
+        sumBase += b;
+        sumTrans += t;
+        ++n;
+    }
+    rule();
+    const double avgBase = sumBase / n;
+    const double avgTrans = sumTrans / n;
+    std::printf("\naverage baseline-buffered reduction:    %s "
+                "(paper: 34.6%%)\n", pct(1.0 - avgBase).c_str());
+    std::printf("average transformed-buffered reduction: %s "
+                "(paper: 72.3%%)\n", pct(1.0 - avgTrans).c_str());
+    return 0;
+}

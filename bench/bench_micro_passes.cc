@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Compiler-pass microbenchmarks: if-conversion, modulo scheduling,
+ * list scheduling, and the full pipeline on a mid-size workload.
+ * These track the cost of the infrastructure itself rather than any
+ * paper figure.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/compiler.hh"
+#include "sched/list_scheduler.hh"
+#include "sched/modulo_scheduler.hh"
+#include "transform/if_convert.hh"
+#include "workloads/registry.hh"
+
+using namespace lbp;
+
+namespace
+{
+
+void
+BM_FullPipelineAdpcm(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Program prog = workloads::buildWorkload("adpcm_enc");
+        CompileOptions opts;
+        CompileResult cr;
+        compileProgram(prog, opts, cr);
+        benchmark::DoNotOptimize(cr.scheduledOps);
+    }
+}
+
+void
+BM_IfConvert(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        Program prog = workloads::buildWorkload("adpcm_enc");
+        state.ResumeTiming();
+        auto st = ifConvertLoops(prog);
+        benchmark::DoNotOptimize(st.loopsConverted);
+    }
+}
+
+void
+BM_ModuloSchedule(benchmark::State &state)
+{
+    // Compile adpcm up to the scheduling boundary once; measure IMS
+    // on its main hyperblock.
+    Program prog = workloads::buildWorkload("adpcm_enc");
+    CompileOptions opts;
+    CompileResult cr;
+    compileProgram(prog, opts, cr);
+    // Find the biggest loop body in the transformed IR.
+    const BasicBlock *body = nullptr;
+    for (const auto &fn : cr.ir.functions) {
+        for (const auto &bb : fn.blocks) {
+            if (bb.dead || !bb.isHyperblock)
+                continue;
+            if (!body || bb.sizeOps() > body->sizeOps())
+                body = &bb;
+        }
+    }
+    Machine machine;
+    for (auto _ : state) {
+        if (body) {
+            auto sb = moduloScheduleLoop(*body, machine);
+            benchmark::DoNotOptimize(sb.ii);
+        }
+    }
+}
+
+void
+BM_ListSchedule(benchmark::State &state)
+{
+    Program prog = workloads::buildWorkload("pgp_enc");
+    CompileOptions opts;
+    CompileResult cr;
+    compileProgram(prog, opts, cr);
+    const BasicBlock *big = nullptr;
+    for (const auto &fn : cr.ir.functions) {
+        for (const auto &bb : fn.blocks) {
+            if (bb.dead)
+                continue;
+            if (!big || bb.sizeOps() > big->sizeOps())
+                big = &bb;
+        }
+    }
+    Machine machine;
+    for (auto _ : state) {
+        if (big) {
+            auto sb = listScheduleBlock(*big, machine);
+            benchmark::DoNotOptimize(sb.bundles.size());
+        }
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_FullPipelineAdpcm)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IfConvert)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ModuloSchedule)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ListSchedule)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

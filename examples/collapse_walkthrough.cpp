@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The paper's Figure-2 walkthrough: predicated loop collapsing on
+ * mpeg2dec's Add_Block-style loop. Builds the doubly-nested 8x8 loop,
+ * prints the IR before and after the aggressive pipeline (peel /
+ * if-convert / collapse / counted-loop conversion), and shows the
+ * resulting single 64-iteration hardware loop with its
+ * from-outer-loop operations marked <outer>.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/compiler.hh"
+#include "ir/builder.hh"
+#include "ir/printer.hh"
+#include "sim/vliw_sim.hh"
+
+using namespace lbp;
+
+namespace
+{
+
+Program
+buildAddBlock()
+{
+    Program prog;
+    prog.name = "add_block_demo";
+    const std::int64_t clip = prog.allocData(1024);
+    for (int x = -512; x < 512; ++x) {
+        const int v = x < 0 ? 0 : x > 255 ? 255 : x;
+        prog.poke8(clip + x + 512, static_cast<std::uint8_t>(v));
+    }
+    const std::int64_t coef = prog.allocData(64 * 4);
+    for (int i = 0; i < 64; ++i)
+        prog.poke32(coef + 4 * i, (i * 97) % 400 - 200);
+    const std::int64_t out = prog.allocData(64 * 2 + 9 * 16);
+    prog.checksumBase = out;
+    prog.checksumSize = 64 * 2;
+
+    const FuncId f = prog.newFunction("main");
+    prog.entryFunc = f;
+    IRBuilder b(prog, f);
+    auto R = [](RegId r) { return Operand::reg(r); };
+    auto I = [](std::int64_t v) { return Operand::imm(v); };
+
+    const RegId clipP = b.iconst(clip + 512);
+    const RegId coefP = b.iconst(coef);
+    const RegId outP = b.iconst(out);
+    const RegId bp = b.iconst(0);
+    const RegId rfp = b.iconst(0);
+
+    // for (i = 0; i < 8; i++) {          // outer
+    //     for (j = 0; j < 8; j++)        // inner (collapsed away)
+    //         *rfp++ = Clip[*bp++ + 128];
+    //     rfp += incr;
+    // }
+    b.forLoop(0, 8, 1, [&](RegId i) {
+        (void)i;
+        b.forLoop(0, 8, 1, [&](RegId j) {
+            (void)j;
+            const RegId b4 = b.shl(R(bp), I(2));
+            const RegId v = b.loadW(R(coefP), R(b4));
+            const RegId idx = b.add(R(v), I(128));
+            const RegId cv = b.loadB(R(clipP), R(idx));
+            const RegId r2 = b.shl(R(rfp), I(1));
+            b.storeH(R(outP), R(r2), R(cv));
+            b.addTo(bp, R(bp), I(1));
+            b.addTo(rfp, R(rfp), I(1));
+        });
+        b.addTo(rfp, R(rfp), I(1)); // rfp += incr
+    });
+    b.ret({});
+    return prog;
+}
+
+} // namespace
+
+int
+main()
+{
+    Program prog = buildAddBlock();
+
+    std::printf("=== Original nested loop (Figure 2a/2b) ===\n");
+    print(std::cout, prog.functions[prog.entryFunc]);
+
+    CompileOptions opts;
+    opts.level = OptLevel::Aggressive;
+    CompileResult cr;
+    compileProgram(prog, opts, cr);
+
+    std::printf("\n=== After collapsing + counted-loop conversion "
+                "(Figure 2c/2d) ===\n");
+    print(std::cout, cr.ir.functions[cr.ir.entryFunc]);
+
+    std::printf("\ncollapsed loops: %d (ops pulled in: %d)\n",
+                cr.collapseStats.loopsCollapsed,
+                cr.collapseStats.outerOpsPulledIn);
+
+    SimConfig sc;
+    sc.bufferOps = 64;
+    VliwSim sim(cr.code, sc);
+    const SimStats st = sim.run();
+    std::printf("64-op buffer: %.1f%% of issue from the buffer, "
+                "checksum %s\n", 100.0 * st.bufferFraction(),
+                st.checksum == cr.goldenChecksum ? "OK" : "BAD");
+    return 0;
+}

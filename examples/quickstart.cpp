@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Quickstart: build a tiny DSP kernel in the lbp IR, compile it under
+ * both configurations, and compare loop-buffer behaviour and cycles.
+ *
+ * The kernel is a saturating gain + clamp over a sample buffer — a
+ * loop with a control-flow diamond that only the aggressive
+ * (if-converting) pipeline can place in the loop buffer.
+ */
+
+#include <cstdio>
+
+#include "core/compiler.hh"
+#include "ir/builder.hh"
+#include "ir/printer.hh"
+#include "sim/vliw_sim.hh"
+#include "workloads/input_data.hh"
+
+using namespace lbp;
+
+namespace
+{
+
+Program
+buildKernel()
+{
+    Program prog;
+    prog.name = "quickstart";
+
+    // Data: 1024 16-bit samples in, 1024 out.
+    const std::int64_t in = prog.allocData(1024 * 2);
+    const std::int64_t out = prog.allocData(1024 * 2);
+    workloads::fillPcm16(prog, in, 1024, 42);
+    prog.checksumBase = out;
+    prog.checksumSize = 1024 * 2;
+
+    const FuncId f = prog.newFunction("main");
+    prog.entryFunc = f;
+    IRBuilder b(prog, f);
+    auto R = [](RegId r) { return Operand::reg(r); };
+    auto I = [](std::int64_t v) { return Operand::imm(v); };
+
+    const RegId inP = b.iconst(in);
+    const RegId outP = b.iconst(out);
+
+    // for (i = 0; i < 1024; ++i) {
+    //     v = in[i] * 3;
+    //     if (v > 20000) v = 20000; else v = v - 16;
+    //     out[i] = v;
+    // }
+    b.forLoop(0, 1024, 1, [&](RegId i) {
+        const RegId off = b.shl(R(i), I(1));
+        const RegId x = b.loadH(R(inP), R(off));
+        const RegId v = b.mul(R(x), I(3));
+        const RegId y = b.mov(R(v));
+        workloads::diamond(b, CmpCond::GT, R(v), I(20000),
+                           [&] { b.movTo(y, I(20000)); },
+                           [&] { b.subTo(y, R(v), I(16)); });
+        b.storeH(R(outP), R(off), R(y));
+    });
+    b.ret({});
+    return prog;
+}
+
+void
+runConfig(const Program &prog, OptLevel level, const char *label)
+{
+    CompileOptions opts;
+    opts.level = level;
+    CompileResult cr;
+    compileProgram(prog, opts, cr);
+
+    SimConfig sc;
+    sc.bufferOps = 256;
+    VliwSim sim(cr.code, sc);
+    const SimStats st = sim.run();
+
+    std::printf("%-12s: %6llu cycles, %6llu ops fetched, "
+                "%5.1f%% from the loop buffer, checksum %s\n",
+                label, (unsigned long long)st.cycles,
+                (unsigned long long)st.opsFetched,
+                100.0 * st.bufferFraction(),
+                st.checksum == cr.goldenChecksum ? "OK" : "BAD");
+}
+
+} // namespace
+
+int
+main()
+{
+    Program prog = buildKernel();
+    std::printf("quickstart kernel: %d static ops\n\n", prog.sizeOps());
+
+    runConfig(prog, OptLevel::Traditional, "traditional");
+    runConfig(prog, OptLevel::Aggressive, "aggressive");
+
+    std::printf("\nThe diamond in the loop body blocks buffering under "
+                "traditional compilation;\nif-conversion merges it into "
+                "one predicated loop that runs from the buffer.\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Backward live-variable analysis over general and predicate
+ * registers, used by dead-code elimination and by the slot-predication
+ * lowering (predicate live ranges).
+ */
+
+#ifndef LBP_ANALYSIS_LIVENESS_HH
+#define LBP_ANALYSIS_LIVENESS_HH
+
+#include <set>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace lbp
+{
+
+/** Per-block live-in/live-out register sets. */
+class Liveness
+{
+  public:
+    explicit Liveness(const Function &fn);
+
+    const std::set<RegId> &liveIn(BlockId b) const { return liveIn_[b]; }
+    const std::set<RegId> &liveOut(BlockId b) const { return liveOut_[b]; }
+
+    const std::set<PredId> &predLiveIn(BlockId b) const
+    { return predLiveIn_[b]; }
+    const std::set<PredId> &predLiveOut(BlockId b) const
+    { return predLiveOut_[b]; }
+
+    /**
+     * Registers read by @p op (general registers only).
+     */
+    static std::vector<RegId> uses(const Operation &op);
+
+    /** Registers written by @p op. */
+    static std::vector<RegId> defs(const Operation &op);
+
+    /** Predicates read (guard) by @p op. */
+    static std::vector<PredId> predUses(const Operation &op);
+
+    /** Predicates written by @p op. */
+    static std::vector<PredId> predDefs(const Operation &op);
+
+  private:
+    std::vector<std::set<RegId>> liveIn_, liveOut_;
+    std::vector<std::set<PredId>> predLiveIn_, predLiveOut_;
+};
+
+} // namespace lbp
+
+#endif // LBP_ANALYSIS_LIVENESS_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Compiler-side loop buffer allocation (paper §5/§6): choose a buffer
+ * offset for each bufferable loop image so that the dynamic number of
+ * operations fetched from global memory is minimized, given the
+ * control-flow profile. Loops that cohabit get disjoint ranges when
+ * they fit; otherwise low-benefit loops are overlapped and the
+ * residency table resolves displacement at run time.
+ */
+
+#ifndef LBP_CORE_BUFFER_ALLOC_HH
+#define LBP_CORE_BUFFER_ALLOC_HH
+
+#include "sched/schedule.hh"
+
+namespace lbp
+{
+
+struct BufferAllocOptions
+{
+    int bufferOps = 256;
+};
+
+/** One allocation decision, for reporting. */
+struct BufferAssignment
+{
+    std::string loopName;
+    FuncId func = kNoFunc;
+    BlockId body = kNoBlock;
+    int imageOps = 0;
+    int bufAddr = -1; ///< -1 = not buffered
+    double benefit = 0.0;
+};
+
+struct BufferAllocResult
+{
+    std::vector<BufferAssignment> assignments;
+    int buffered = 0;
+    int unbuffered = 0;
+};
+
+/**
+ * Assign buffer offsets across the whole program, writing bufAddr /
+ * numOps onto the REC/EXEC operations in both the scheduled code and
+ * the IR. Existing assignments are overwritten (so the same compiled
+ * code can be re-allocated for several buffer sizes).
+ */
+BufferAllocResult allocateLoopBuffers(Program &prog, SchedProgram &code,
+                                      const BufferAllocOptions &opts);
+
+} // namespace lbp
+
+#endif // LBP_CORE_BUFFER_ALLOC_HH

@@ -1,0 +1,197 @@
+#include "core/compiler.hh"
+
+#include "ir/interpreter.hh"
+#include "ir/verifier.hh"
+#include "sched/list_scheduler.hh"
+#include "sched/modulo_scheduler.hh"
+#include "support/logging.hh"
+#include "transform/classic_opts.hh"
+
+namespace lbp
+{
+
+namespace
+{
+
+/** Is this block a simple hardware-loop body? */
+bool
+isSimpleLoopBody(const BasicBlock &bb)
+{
+    const Operation *term = bb.terminator();
+    if (!term)
+        return false;
+    if (term->op == Opcode::BR_CLOOP || term->op == Opcode::BR_WLOOP)
+        return term->target == bb.id;
+    if (term->op == Opcode::BR || term->op == Opcode::JUMP)
+        return term->target == bb.id;
+    return false;
+}
+
+void
+checkStage(const Program &prog, const CompileOptions &opts,
+           std::uint64_t golden, const char *stage)
+{
+    if (!opts.verifyStages)
+        return;
+    Interpreter interp(prog);
+    const auto r = interp.run(opts.profileArgs);
+    if (r.checksum != golden) {
+        LBP_FATAL("semantic checksum mismatch after stage '", stage,
+                  "' in program '", prog.name, "': golden=",
+                  golden, " got=", r.checksum);
+    }
+}
+
+} // namespace
+
+void
+compileProgram(const Program &input, const CompileOptions &opts,
+               CompileResult &out)
+{
+    out.ir = input;
+    Program &prog = out.ir;
+    out.originalOps = prog.sizeOps();
+    verifyOrDie(prog);
+
+    // 1. Profile + golden checksum.
+    auto run0 = profileProgram(prog, opts.profileArgs);
+    out.goldenChecksum = run0.result.checksum;
+
+    // 2. Profile-guided inlining (<= 50% expansion, per the paper).
+    if (opts.doInline) {
+        out.inlineStats = inlineHotCalls(prog, run0.profile);
+        verifyOrDie(prog);
+        checkStage(prog, opts, out.goldenChecksum, "inline");
+    }
+
+    // 3. Classic optimization + height reduction (reassociation is
+    //    part of the paper's "traditional loop optimizations" and the
+    //    Figure-2d height-reducing step).
+    optimizeProgram(prog);
+    out.reassocStats = reassociate(prog);
+    optimizeProgram(prog);
+    verifyOrDie(prog);
+    checkStage(prog, opts, out.goldenChecksum, "classic-opts");
+
+    // 4. Control transformations (Aggressive only).
+    if (opts.level == OptLevel::Aggressive) {
+        out.peelStats = peelLoops(prog);
+        verifyOrDie(prog);
+        checkStage(prog, opts, out.goldenChecksum, "peel");
+
+        VerifyOptions hyperOk;
+        hyperOk.allowInternalBranches = true;
+
+        out.ifConvertStats = ifConvertLoops(prog);
+        verifyOrDie(prog, hyperOk);
+        checkStage(prog, opts, out.goldenChecksum, "if-convert");
+
+        out.collapseStats = collapseLoops(prog);
+        verifyOrDie(prog, hyperOk);
+        checkStage(prog, opts, out.goldenChecksum, "collapse");
+
+        // Collapsing can expose newly-childless outer loops.
+        {
+            auto s2 = ifConvertLoops(prog);
+            out.ifConvertStats.loopsConverted += s2.loopsConverted;
+            out.ifConvertStats.blocksMerged += s2.blocksMerged;
+            out.ifConvertStats.predDefsInserted += s2.predDefsInserted;
+            out.ifConvertStats.sideExits += s2.sideExits;
+        }
+        verifyOrDie(prog, hyperOk);
+        checkStage(prog, opts, out.goldenChecksum, "if-convert-2");
+
+        out.branchCombineStats = combineBranches(prog);
+        verifyOrDie(prog, hyperOk);
+        checkStage(prog, opts, out.goldenChecksum, "branch-combine");
+
+        out.promoteStats = promoteOperations(prog);
+        verifyOrDie(prog, hyperOk);
+        checkStage(prog, opts, out.goldenChecksum, "promote");
+
+        optimizeProgram(prog);
+        {
+            auto r2 = reassociate(prog);
+            out.reassocStats.chainsRebalanced += r2.chainsRebalanced;
+            out.reassocStats.opsInChains += r2.opsInChains;
+        }
+        optimizeProgram(prog);
+        verifyOrDie(prog, hyperOk);
+        checkStage(prog, opts, out.goldenChecksum, "classic-opts-2");
+    }
+
+    // 5. Hardware-loop conversion (both levels).
+    out.countedLoopStats = convertCountedLoops(prog);
+    {
+        VerifyOptions v;
+        v.allowInternalBranches = opts.level == OptLevel::Aggressive;
+        verifyOrDie(prog, v);
+    }
+    checkStage(prog, opts, out.goldenChecksum, "counted-loop");
+
+    // 6. Refresh the profile (weights drive buffer allocation).
+    auto run1 = profileProgram(prog, opts.profileArgs);
+    LBP_ASSERT(run1.result.checksum == out.goldenChecksum,
+               "final profile checksum mismatch");
+    out.transformedChecksum = run1.result.checksum;
+    out.finalOps = prog.sizeOps();
+
+    // 7. Schedule.
+    out.code.ir = &prog;
+    out.code.functions.clear();
+    out.code.functions.resize(prog.functions.size());
+    for (const auto &fn : prog.functions) {
+        SchedFunction &sf = out.code.functions[fn.id];
+        sf.func = fn.id;
+        sf.blocks.resize(fn.blocks.size());
+        for (const auto &bb : fn.blocks) {
+            if (bb.dead)
+                continue;
+            SchedBlock sb;
+            const bool loopBody = isSimpleLoopBody(bb);
+            if (loopBody)
+                ++out.simpleLoops;
+            if (loopBody && opts.moduloSchedule) {
+                ModuloOptions mo;
+                mo.rotatingRegisters = opts.rotatingRegisters;
+                sb = moduloScheduleLoop(bb, out.machine, mo);
+                if (sb.valid) {
+                    ++out.moduloLoops;
+                } else {
+                    sb = listScheduleBlock(bb, out.machine);
+                    sb.isLoopBody = true;
+                }
+            } else {
+                sb = listScheduleBlock(bb, out.machine);
+                sb.isLoopBody = loopBody;
+            }
+            sf.blocks[bb.id] = std::move(sb);
+        }
+    }
+
+    // 8. Slot-predication lowering.
+    if (opts.level == OptLevel::Aggressive && opts.slotLowering) {
+        out.slotStats = lowerProgramToSlots(prog, out.code,
+                                            out.machine,
+                                            opts.predQueueDepth);
+    }
+
+    // 9. Buffer allocation + link.
+    BufferAllocOptions ba;
+    ba.bufferOps = opts.bufferOps;
+    out.bufferAlloc = allocateLoopBuffers(prog, out.code, ba);
+    out.code.link();
+    out.scheduledOps = out.code.sizeOps();
+}
+
+void
+reallocateBuffers(CompileResult &result, int bufferOps)
+{
+    BufferAllocOptions ba;
+    ba.bufferOps = bufferOps;
+    result.bufferAlloc =
+        allocateLoopBuffers(result.ir, result.code, ba);
+    result.code.link();
+}
+
+} // namespace lbp

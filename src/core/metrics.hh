@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Predication metrics (paper §4.1, Figure 3): distributions of
+ * predicate consumers per define, predicate live-range durations in
+ * scheduled cycles, and simultaneously-live predicates per loop —
+ * plus the §4.3 sensitivity fractions. All are computed over the
+ * scheduled loop bodies of a compiled program, statically and
+ * weighted by the dynamic profile.
+ */
+
+#ifndef LBP_CORE_METRICS_HH
+#define LBP_CORE_METRICS_HH
+
+#include "core/compiler.hh"
+#include "support/stats.hh"
+
+namespace lbp
+{
+
+struct PredicationMetrics
+{
+    /** Figure 3a: consumers per predicate define. */
+    Histogram consumersPerDefineStatic;
+    Histogram consumersPerDefineDynamic;
+
+    /** Figure 3b: live-range duration (cycles) per define. */
+    Histogram liveRangeStatic;
+    Histogram liveRangeDynamic;
+
+    /** Figure 3c: max simultaneously-live predicates per loop,
+     *  weighted by dynamic loop iterations. */
+    Histogram overlapPerLoop;
+
+    int predicatedLoops = 0;    ///< loop bodies using predication
+    int candidateLoops = 0;     ///< modulo-scheduling candidates
+
+    /** §4.3: dynamic guard-sensitive op fractions. */
+    double dynOpsInPredicatedLoops = 0;
+    double dynSensitiveInPredicatedLoops = 0;
+    double dynOpsInBufferableLoops = 0;
+    double dynSensitiveInBufferableLoops = 0;
+
+    double sensitiveFracPredicated() const
+    {
+        return dynOpsInPredicatedLoops > 0
+                   ? dynSensitiveInPredicatedLoops /
+                         dynOpsInPredicatedLoops
+                   : 0.0;
+    }
+    double sensitiveFracBufferable() const
+    {
+        return dynOpsInBufferableLoops > 0
+                   ? dynSensitiveInBufferableLoops /
+                         dynOpsInBufferableLoops
+                   : 0.0;
+    }
+};
+
+/** Compute predication metrics over a compiled program. */
+PredicationMetrics collectPredicationMetrics(const CompileResult &cr);
+
+/**
+ * Register-pressure report: the maximum number of simultaneously
+ * live general registers in any scheduled loop body, per function
+ * and program-wide. The paper's machine provides 64 integer
+ * registers; ILP transformations "need many registers to express
+ * enough parallelism" (§4), so this is the constraint a register
+ * allocator would have to satisfy.
+ */
+struct RegisterPressure
+{
+    int maxLoopPressure = 0;   ///< worst loop body in the program
+    int machineRegisters = 64; ///< paper §7
+    bool fits() const { return maxLoopPressure <= machineRegisters; }
+};
+
+RegisterPressure collectRegisterPressure(const CompileResult &cr);
+
+/** Merge: accumulate @p in into @p acc (for benchmark-set totals). */
+void mergeMetrics(PredicationMetrics &acc, const PredicationMetrics &in);
+
+} // namespace lbp
+
+#endif // LBP_CORE_METRICS_HH

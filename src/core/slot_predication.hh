@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Slot-based predication lowering (paper §4.2).
+ *
+ * After a loop body is scheduled, each operation's issue slot is
+ * fixed. Lowering rewrites the scheduled copy of the block so that:
+ *
+ *  - every predicated consumer keeps only a 1-bit predicate
+ *    sensitivity flag and is nullified by its *slot's* standing
+ *    predicate;
+ *  - predicate defines write directly to the slots of their
+ *    consumers (up to two destinations per define; extra defines are
+ *    cloned into free predicate-capable slots when a predicate has
+ *    consumers in more than two slots);
+ *  - predicates consumed outside the block (e.g. by a branch-combine
+ *    decode block) keep an additional register destination — the
+ *    slot scheme is a loop-kernel mechanism and cross-block
+ *    predicates fall back to the register file (documented
+ *    substitution; the paper targets kernels for exactly this
+ *    reason).
+ *
+ * Lowering fails (leaving the block on register predication) when two
+ * different predicates would need the same slot with overlapping live
+ * ranges, or when a needed define clone cannot be placed; failures
+ * are counted — the paper reports such intervention is "largely
+ * unnecessary" and our statistics let the claim be checked.
+ */
+
+#ifndef LBP_CORE_SLOT_PREDICATION_HH
+#define LBP_CORE_SLOT_PREDICATION_HH
+
+#include "sched/schedule.hh"
+
+namespace lbp
+{
+
+struct SlotLoweringStats
+{
+    int blocksAttempted = 0;
+    int blocksLowered = 0;
+    int blocksFailedConflict = 0;
+    int blocksFailedCapacity = 0;
+    int predsRangeTooLong = 0; ///< register fallback: range >= II
+    int predsQueued = 0; ///< slot-routed only thanks to the queue
+    int definesRewritten = 0;
+    int definesCloned = 0;
+    int predsKeptInRegisters = 0; ///< cross-block predicates
+    int sensitiveOps = 0;
+};
+
+/**
+ * Lower one scheduled loop-body block. @p externalPreds lists
+ * predicates consumed outside this block (they keep register
+ * destinations). Returns true if the block now uses slot predication.
+ */
+bool lowerBlockToSlots(const BasicBlock &irBlock, SchedBlock &sb,
+                       const Machine &machine,
+                       const std::vector<PredId> &externalPreds,
+                       SlotLoweringStats &stats,
+                       int predQueueDepth = 0);
+
+/**
+ * Lower every scheduled simple-loop body in the program. Computes
+ * cross-block predicate escapes per function automatically.
+ */
+SlotLoweringStats lowerProgramToSlots(const Program &prog,
+                                      SchedProgram &code,
+                                      const Machine &machine,
+                                      int predQueueDepth = 0);
+
+} // namespace lbp
+
+#endif // LBP_CORE_SLOT_PREDICATION_HH

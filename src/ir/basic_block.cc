@@ -1,0 +1,67 @@
+#include "ir/basic_block.hh"
+
+#include <algorithm>
+
+namespace lbp
+{
+
+std::vector<BlockId>
+BasicBlock::successors() const
+{
+    std::vector<BlockId> succs;
+    for (const auto &o : ops) {
+        if (o.isBranchOp() && o.target != kNoBlock) {
+            if (std::find(succs.begin(), succs.end(), o.target) ==
+                succs.end()) {
+                succs.push_back(o.target);
+            }
+        }
+    }
+    if (fallthrough != kNoBlock &&
+        std::find(succs.begin(), succs.end(), fallthrough) == succs.end()) {
+        succs.push_back(fallthrough);
+    }
+    return succs;
+}
+
+bool
+BasicBlock::endsWithUnconditional() const
+{
+    if (ops.empty())
+        return false;
+    const Operation &last = ops.back();
+    if (last.op == Opcode::RET)
+        return true;
+    if (last.op == Opcode::JUMP && !last.hasGuard())
+        return true;
+    return false;
+}
+
+const Operation *
+BasicBlock::terminator() const
+{
+    if (!ops.empty() && (ops.back().isBranchOp() ||
+                         ops.back().op == Opcode::RET)) {
+        return &ops.back();
+    }
+    return nullptr;
+}
+
+Operation *
+BasicBlock::terminator()
+{
+    return const_cast<Operation *>(
+        static_cast<const BasicBlock *>(this)->terminator());
+}
+
+int
+BasicBlock::sizeOps() const
+{
+    int n = 0;
+    for (const auto &o : ops)
+        if (o.op != Opcode::NOP)
+            ++n;
+    return n;
+}
+
+} // namespace lbp

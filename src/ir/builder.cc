@@ -1,0 +1,291 @@
+#include "ir/builder.hh"
+
+#include "support/logging.hh"
+
+namespace lbp
+{
+
+IRBuilder::IRBuilder(Program &prog, FuncId func)
+    : prog_(prog), fn_(prog.functions[func]), cur_(kNoBlock)
+{
+    if (fn_.entry == kNoBlock) {
+        fn_.entry = fn_.newBlock("entry");
+    }
+    cur_ = fn_.entry;
+}
+
+BlockId
+IRBuilder::makeBlock(const std::string &name)
+{
+    return fn_.newBlock(name);
+}
+
+void
+IRBuilder::at(BlockId b)
+{
+    LBP_ASSERT(b < fn_.blocks.size(), "builder at(): bad block");
+    cur_ = b;
+}
+
+void
+IRBuilder::fallTo(BlockId b)
+{
+    fn_.block(cur_).fallthrough = b;
+}
+
+Operation &
+IRBuilder::emit(Operation op)
+{
+    op.id = fn_.newOpId();
+    if (op.guard == kNoPred)
+        op.guard = guard_;
+    auto &blk = fn_.block(cur_);
+    blk.ops.push_back(std::move(op));
+    return blk.ops.back();
+}
+
+RegId
+IRBuilder::iconst(std::int64_t v)
+{
+    RegId r = fn_.newReg();
+    emit(makeUnary(Opcode::MOV, r, Operand::imm(v)));
+    return r;
+}
+
+#define LBP_BUILDER_BIN(meth, OPC)                                         \
+    RegId IRBuilder::meth(Operand a, Operand b)                            \
+    {                                                                      \
+        RegId r = fn_.newReg();                                            \
+        emit(makeBinary(Opcode::OPC, r, a, b));                            \
+        return r;                                                          \
+    }
+
+LBP_BUILDER_BIN(add, ADD)
+LBP_BUILDER_BIN(sub, SUB)
+LBP_BUILDER_BIN(mul, MUL)
+LBP_BUILDER_BIN(div, DIV)
+LBP_BUILDER_BIN(rem, REM)
+LBP_BUILDER_BIN(and_, AND)
+LBP_BUILDER_BIN(or_, OR)
+LBP_BUILDER_BIN(xor_, XOR)
+LBP_BUILDER_BIN(shl, SHL)
+LBP_BUILDER_BIN(shr, SHR)
+LBP_BUILDER_BIN(shra, SHRA)
+LBP_BUILDER_BIN(min, MIN)
+LBP_BUILDER_BIN(max, MAX)
+LBP_BUILDER_BIN(satadd, SATADD)
+LBP_BUILDER_BIN(satsub, SATSUB)
+
+#undef LBP_BUILDER_BIN
+
+RegId
+IRBuilder::abs(Operand a)
+{
+    RegId r = fn_.newReg();
+    emit(makeUnary(Opcode::ABS, r, a));
+    return r;
+}
+
+RegId
+IRBuilder::mov(Operand a)
+{
+    RegId r = fn_.newReg();
+    emit(makeUnary(Opcode::MOV, r, a));
+    return r;
+}
+
+RegId
+IRBuilder::cmp(CmpCond c, Operand a, Operand b)
+{
+    RegId r = fn_.newReg();
+    emit(makeCmp(r, c, a, b));
+    return r;
+}
+
+RegId
+IRBuilder::select(Operand c, Operand t, Operand f)
+{
+    RegId r = fn_.newReg();
+    Operation o;
+    o.op = Opcode::SELECT;
+    o.dsts = {Operand::reg(r)};
+    o.srcs = {c, t, f};
+    emit(std::move(o));
+    return r;
+}
+
+RegId
+IRBuilder::loadB(Operand base, Operand off)
+{
+    RegId r = fn_.newReg();
+    emit(makeLoad(Opcode::LD_B, r, base, off));
+    return r;
+}
+
+RegId
+IRBuilder::loadH(Operand base, Operand off)
+{
+    RegId r = fn_.newReg();
+    emit(makeLoad(Opcode::LD_H, r, base, off));
+    return r;
+}
+
+RegId
+IRBuilder::loadW(Operand base, Operand off)
+{
+    RegId r = fn_.newReg();
+    emit(makeLoad(Opcode::LD_W, r, base, off));
+    return r;
+}
+
+void
+IRBuilder::addTo(RegId dst, Operand a, Operand b)
+{
+    emit(makeBinary(Opcode::ADD, dst, a, b));
+}
+
+void
+IRBuilder::subTo(RegId dst, Operand a, Operand b)
+{
+    emit(makeBinary(Opcode::SUB, dst, a, b));
+}
+
+void
+IRBuilder::mulTo(RegId dst, Operand a, Operand b)
+{
+    emit(makeBinary(Opcode::MUL, dst, a, b));
+}
+
+void
+IRBuilder::movTo(RegId dst, Operand a)
+{
+    emit(makeUnary(Opcode::MOV, dst, a));
+}
+
+void
+IRBuilder::binTo(Opcode op, RegId dst, Operand a, Operand b)
+{
+    emit(makeBinary(op, dst, a, b));
+}
+
+void
+IRBuilder::storeB(Operand base, Operand off, Operand v)
+{
+    emit(makeStore(Opcode::ST_B, base, off, v));
+}
+
+void
+IRBuilder::storeH(Operand base, Operand off, Operand v)
+{
+    emit(makeStore(Opcode::ST_H, base, off, v));
+}
+
+void
+IRBuilder::storeW(Operand base, Operand off, Operand v)
+{
+    emit(makeStore(Opcode::ST_W, base, off, v));
+}
+
+void
+IRBuilder::predDef(PredDefKind k0, PredId p0, CmpCond c, Operand a,
+                   Operand b)
+{
+    emit(makePredDef(k0, p0, PredDefKind::NONE, 0, c, a, b));
+}
+
+void
+IRBuilder::predDef2(PredDefKind k0, PredId p0, PredDefKind k1, PredId p1,
+                    CmpCond c, Operand a, Operand b)
+{
+    emit(makePredDef(k0, p0, k1, p1, c, a, b));
+}
+
+void
+IRBuilder::br(CmpCond c, Operand a, Operand b, BlockId target)
+{
+    emit(makeBr(c, a, b, target));
+}
+
+void
+IRBuilder::jump(BlockId target)
+{
+    emit(makeJump(target));
+}
+
+void
+IRBuilder::ret(const std::vector<Operand> &values)
+{
+    Operation o;
+    o.op = Opcode::RET;
+    o.srcs = values;
+    emit(std::move(o));
+}
+
+void
+IRBuilder::wloopBack(CmpCond c, Operand a, Operand b, BlockId head)
+{
+    Operation o;
+    o.op = Opcode::BR_WLOOP;
+    o.cond = c;
+    o.srcs = {a, b};
+    o.target = head;
+    emit(std::move(o));
+}
+
+std::vector<RegId>
+IRBuilder::call(FuncId callee, const std::vector<Operand> &args,
+                int num_rets)
+{
+    Operation o;
+    o.op = Opcode::CALL;
+    o.callee = callee;
+    o.srcs = args;
+    std::vector<RegId> rets;
+    for (int i = 0; i < num_rets; ++i) {
+        RegId r = fn_.newReg();
+        rets.push_back(r);
+        o.dsts.push_back(Operand::reg(r));
+    }
+    emit(std::move(o));
+    return rets;
+}
+
+BlockId
+IRBuilder::forLoopImpl(std::int64_t start, Operand bound,
+                       std::int64_t step,
+                       const std::function<void(RegId)> &bodyFn)
+{
+    LBP_ASSERT(step != 0, "forLoop with zero step");
+    RegId i = fn_.newReg();
+    movTo(i, Operand::imm(start));
+
+    BlockId head = makeBlock();
+    fallTo(head);
+    at(head);
+    bodyFn(i);
+    addTo(i, Operand::reg(i), Operand::imm(step));
+    const CmpCond back = step > 0 ? CmpCond::LT : CmpCond::GT;
+    br(back, Operand::reg(i), bound, head);
+
+    BlockId after = makeBlock();
+    fallTo(after);
+    at(after);
+    return head;
+}
+
+BlockId
+IRBuilder::forLoop(std::int64_t start, std::int64_t bound,
+                   std::int64_t step,
+                   const std::function<void(RegId)> &bodyFn)
+{
+    return forLoopImpl(start, Operand::imm(bound), step, bodyFn);
+}
+
+BlockId
+IRBuilder::forLoopReg(std::int64_t start, RegId bound, std::int64_t step,
+                      const std::function<void(RegId)> &bodyFn)
+{
+    return forLoopImpl(start, Operand::reg(bound), step, bodyFn);
+}
+
+} // namespace lbp

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * IRBuilder: fluent construction of lbp IR. All workloads and most tests
+ * build programs through this interface.
+ *
+ * The builder maintains a current insertion block; operations are
+ * appended there. A current guard predicate, when set, is attached to
+ * every emitted operation (used when hand-building predicated code).
+ */
+
+#ifndef LBP_IR_BUILDER_HH
+#define LBP_IR_BUILDER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace lbp
+{
+
+class IRBuilder
+{
+  public:
+    IRBuilder(Program &prog, FuncId func);
+
+    Program &program() { return prog_; }
+    Function &function() { return fn_; }
+
+    /** Create a block (does not move the insertion point). */
+    BlockId makeBlock(const std::string &name = "");
+
+    /** Move the insertion point to @p b. */
+    void at(BlockId b);
+
+    BlockId current() const { return cur_; }
+
+    /** Set the current block's fall-through successor. */
+    void fallTo(BlockId b);
+
+    /** Set/clear the guard applied to subsequently emitted ops. */
+    void setGuard(PredId p) { guard_ = p; }
+    void clearGuard() { guard_ = kNoPred; }
+
+    /** Append an arbitrary operation (assigns id and guard). */
+    Operation &emit(Operation op);
+
+    // ---- Value producers (fresh destination register) ----
+    RegId iconst(std::int64_t v);
+    RegId add(Operand a, Operand b);
+    RegId sub(Operand a, Operand b);
+    RegId mul(Operand a, Operand b);
+    RegId div(Operand a, Operand b);
+    RegId rem(Operand a, Operand b);
+    RegId and_(Operand a, Operand b);
+    RegId or_(Operand a, Operand b);
+    RegId xor_(Operand a, Operand b);
+    RegId shl(Operand a, Operand b);
+    RegId shr(Operand a, Operand b);
+    RegId shra(Operand a, Operand b);
+    RegId min(Operand a, Operand b);
+    RegId max(Operand a, Operand b);
+    RegId satadd(Operand a, Operand b);
+    RegId satsub(Operand a, Operand b);
+    RegId abs(Operand a);
+    RegId mov(Operand a);
+    RegId cmp(CmpCond c, Operand a, Operand b);
+    RegId select(Operand c, Operand t, Operand f);
+    RegId loadB(Operand base, Operand off);
+    RegId loadH(Operand base, Operand off);
+    RegId loadW(Operand base, Operand off);
+
+    // ---- In-place updates of an existing register ----
+    void addTo(RegId dst, Operand a, Operand b);
+    void subTo(RegId dst, Operand a, Operand b);
+    void mulTo(RegId dst, Operand a, Operand b);
+    void movTo(RegId dst, Operand a);
+    void binTo(Opcode op, RegId dst, Operand a, Operand b);
+
+    // ---- Memory ----
+    void storeB(Operand base, Operand off, Operand v);
+    void storeH(Operand base, Operand off, Operand v);
+    void storeW(Operand base, Operand off, Operand v);
+
+    // ---- Predicates ----
+    PredId newPred() { return fn_.newPred(); }
+    void predDef(PredDefKind k0, PredId p0, CmpCond c, Operand a,
+                 Operand b);
+    void predDef2(PredDefKind k0, PredId p0, PredDefKind k1, PredId p1,
+                  CmpCond c, Operand a, Operand b);
+
+    // ---- Control flow ----
+    void br(CmpCond c, Operand a, Operand b, BlockId target);
+    void jump(BlockId target);
+    void ret(const std::vector<Operand> &values = {});
+    void wloopBack(CmpCond c, Operand a, Operand b, BlockId head);
+    std::vector<RegId> call(FuncId callee,
+                            const std::vector<Operand> &args,
+                            int num_rets);
+
+    /**
+     * Build a counted loop: for (i = start; i < bound; i += step).
+     *
+     * Creates header/latch structure:
+     *   pre: i = start; (falls into body)
+     *   body: <bodyFn(i)>; i += step; br lt i, bound -> body
+     *   after: insertion point left in a fresh block after the loop.
+     *
+     * The loop body is a single block unless bodyFn creates more; the
+     * backedge is appended to the insertion block current when bodyFn
+     * returns.
+     *
+     * @return the loop header block id.
+     */
+    BlockId forLoop(std::int64_t start, std::int64_t bound,
+                    std::int64_t step,
+                    const std::function<void(RegId)> &bodyFn);
+
+    /** Variant with register bound. */
+    BlockId forLoopReg(std::int64_t start, RegId bound, std::int64_t step,
+                       const std::function<void(RegId)> &bodyFn);
+
+  private:
+    BlockId forLoopImpl(std::int64_t start, Operand bound,
+                        std::int64_t step,
+                        const std::function<void(RegId)> &bodyFn);
+
+    Program &prog_;
+    Function &fn_;
+    BlockId cur_;
+    PredId guard_ = kNoPred;
+};
+
+} // namespace lbp
+
+#endif // LBP_IR_BUILDER_HH

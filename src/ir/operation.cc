@@ -1,0 +1,120 @@
+#include "ir/operation.hh"
+
+namespace lbp
+{
+
+int
+Operation::numRegSrcs() const
+{
+    int n = 0;
+    for (const auto &s : srcs)
+        if (s.isReg())
+            ++n;
+    return n;
+}
+
+bool
+Operation::writesReg(RegId r) const
+{
+    for (const auto &d : dsts)
+        if (d.isReg() && d.asReg() == r)
+            return true;
+    return false;
+}
+
+bool
+Operation::readsReg(RegId r) const
+{
+    for (const auto &s : srcs)
+        if (s.isReg() && s.asReg() == r)
+            return true;
+    return false;
+}
+
+Operation
+makeBinary(Opcode op, RegId dst, Operand a, Operand b)
+{
+    Operation o;
+    o.op = op;
+    o.dsts = {Operand::reg(dst)};
+    o.srcs = {a, b};
+    return o;
+}
+
+Operation
+makeUnary(Opcode op, RegId dst, Operand a)
+{
+    Operation o;
+    o.op = op;
+    o.dsts = {Operand::reg(dst)};
+    o.srcs = {a};
+    return o;
+}
+
+Operation
+makeCmp(RegId dst, CmpCond c, Operand a, Operand b)
+{
+    Operation o;
+    o.op = Opcode::CMP;
+    o.cond = c;
+    o.dsts = {Operand::reg(dst)};
+    o.srcs = {a, b};
+    return o;
+}
+
+Operation
+makeLoad(Opcode op, RegId dst, Operand base, Operand offset)
+{
+    Operation o;
+    o.op = op;
+    o.dsts = {Operand::reg(dst)};
+    o.srcs = {base, offset};
+    return o;
+}
+
+Operation
+makeStore(Opcode op, Operand base, Operand offset, Operand value)
+{
+    Operation o;
+    o.op = op;
+    o.srcs = {base, offset, value};
+    return o;
+}
+
+Operation
+makePredDef(PredDefKind k0, PredId p0, PredDefKind k1, PredId p1,
+            CmpCond c, Operand a, Operand b)
+{
+    Operation o;
+    o.op = Opcode::PRED_DEF;
+    o.cond = c;
+    o.defKind0 = k0;
+    o.defKind1 = k1;
+    o.dsts = {Operand::pred(p0)};
+    if (k1 != PredDefKind::NONE)
+        o.dsts.push_back(Operand::pred(p1));
+    o.srcs = {a, b};
+    return o;
+}
+
+Operation
+makeBr(CmpCond c, Operand a, Operand b, BlockId target)
+{
+    Operation o;
+    o.op = Opcode::BR;
+    o.cond = c;
+    o.srcs = {a, b};
+    o.target = target;
+    return o;
+}
+
+Operation
+makeJump(BlockId target)
+{
+    Operation o;
+    o.op = Opcode::JUMP;
+    o.target = target;
+    return o;
+}
+
+} // namespace lbp

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Operand and Operation: the atomic units of the lbp IR.
+ */
+
+#ifndef LBP_IR_OPERATION_HH
+#define LBP_IR_OPERATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/opcode.hh"
+#include "ir/types.hh"
+
+namespace lbp
+{
+
+/** Operand kinds. */
+enum class OperandKind : std::uint8_t
+{
+    NONE,
+    REG,    ///< general virtual register
+    IMM,    ///< signed immediate
+    PRED,   ///< predicate virtual register
+    SLOT,   ///< issue-slot destination (slot-based predication lowering)
+};
+
+/** A single operand: a tagged (kind, value) pair. */
+struct Operand
+{
+    OperandKind kind = OperandKind::NONE;
+    std::int64_t value = 0;
+
+    Operand() = default;
+    Operand(OperandKind k, std::int64_t v) : kind(k), value(v) {}
+
+    static Operand reg(RegId r)
+    { return {OperandKind::REG, static_cast<std::int64_t>(r)}; }
+
+    static Operand imm(std::int64_t v) { return {OperandKind::IMM, v}; }
+
+    static Operand pred(PredId p)
+    { return {OperandKind::PRED, static_cast<std::int64_t>(p)}; }
+
+    static Operand slot(int s) { return {OperandKind::SLOT, s}; }
+
+    bool isReg() const { return kind == OperandKind::REG; }
+    bool isImm() const { return kind == OperandKind::IMM; }
+    bool isPred() const { return kind == OperandKind::PRED; }
+    bool isSlot() const { return kind == OperandKind::SLOT; }
+    bool isNone() const { return kind == OperandKind::NONE; }
+
+    RegId asReg() const { return static_cast<RegId>(value); }
+    PredId asPred() const { return static_cast<PredId>(value); }
+    int asSlot() const { return static_cast<int>(value); }
+
+    bool operator==(const Operand &o) const
+    { return kind == o.kind && value == o.value; }
+};
+
+/**
+ * One IR operation.
+ *
+ * Layout conventions per opcode family:
+ *  - ALU binary:   dsts=[reg], srcs=[a, b]
+ *  - MOV/ABS/...:  dsts=[reg], srcs=[a]
+ *  - SELECT:       dsts=[reg], srcs=[cond, ifTrue, ifFalse]
+ *  - CMP:          dsts=[reg], srcs=[a, b], cond
+ *  - LD_*:         dsts=[reg], srcs=[base, offset]
+ *  - ST_*:         srcs=[base, offset, value]
+ *  - PRED_DEF:     dsts=[pred|slot, (pred|slot)], srcs=[a, b], cond,
+ *                  defKind0/defKind1 (Table 2 semantics)
+ *  - BR:           srcs=[a, b], cond, target
+ *  - JUMP:         target
+ *  - BR_CLOOP:     target (count owned by the matching REC/EXEC_CLOOP)
+ *  - BR_WLOOP:     srcs=[a, b], cond, target
+ *  - REC_CLOOP:    srcs=[count(reg|imm)], bufAddr, numOps, target=loop head
+ *  - REC_WLOOP:    bufAddr, numOps, target=loop head
+ *  - EXEC_CLOOP:   srcs=[count], bufAddr, target=loop head
+ *  - EXEC_WLOOP:   bufAddr, target=loop head
+ *  - CALL:         callee, dsts=rets, srcs=args
+ *  - RET:          srcs=return values
+ *
+ * Every operation carries an optional guard predicate (IMPACT model).
+ * After slot-based lowering, `sensitive` marks the single
+ * predicate-sensitivity bit of the paper's §4.2 encoding and the guard
+ * refers to the consuming slot's standing predicate.
+ */
+struct Operation
+{
+    Opcode op = Opcode::NOP;
+    CmpCond cond = CmpCond::EQ;
+    PredDefKind defKind0 = PredDefKind::NONE;
+    PredDefKind defKind1 = PredDefKind::NONE;
+
+    std::vector<Operand> dsts;
+    std::vector<Operand> srcs;
+
+    /** Guard predicate; kNoPred (0) means unguarded. */
+    PredId guard = kNoPred;
+
+    /** Slot-predication sensitivity bit (valid after lowering). */
+    bool sensitive = false;
+
+    /** Branch target block. */
+    BlockId target = kNoBlock;
+
+    /** Callee for CALL. */
+    FuncId callee = kNoFunc;
+
+    /** Buffer offset for rec/exec buffer ops; -1 = not buffered. */
+    std::int32_t bufAddr = -1;
+
+    /** Loop image size in operations for REC_* ops. */
+    std::int32_t numOps = 0;
+
+    /** Marks code pulled in from an outer loop by collapsing. */
+    bool fromOuterLoop = false;
+
+    /** Marks control-speculated (promoted) operations. */
+    bool speculative = false;
+
+    /** Unique id within the owning function (assigned by Function). */
+    OpId id = 0;
+
+    bool isBranchOp() const { return isBranch(op); }
+    bool hasGuard() const { return guard != kNoPred; }
+
+    /** Number of general-register source operands. */
+    int numRegSrcs() const;
+
+    /** True if this op writes general register r. */
+    bool writesReg(RegId r) const;
+
+    /** True if this op reads general register r. */
+    bool readsReg(RegId r) const;
+};
+
+/** Make a simple binary ALU op. */
+Operation makeBinary(Opcode op, RegId dst, Operand a, Operand b);
+
+/** Make a unary op (MOV, ABS, ITOF, ...). */
+Operation makeUnary(Opcode op, RegId dst, Operand a);
+
+/** Make a compare-to-register op. */
+Operation makeCmp(RegId dst, CmpCond c, Operand a, Operand b);
+
+/** Make a load: dst = mem[base + offset]. */
+Operation makeLoad(Opcode op, RegId dst, Operand base, Operand offset);
+
+/** Make a store: mem[base + offset] = value. */
+Operation makeStore(Opcode op, Operand base, Operand offset, Operand value);
+
+/** Make a predicate define with one or two destinations. */
+Operation makePredDef(PredDefKind k0, PredId p0, PredDefKind k1, PredId p1,
+                      CmpCond c, Operand a, Operand b);
+
+/** Make a conditional branch. */
+Operation makeBr(CmpCond c, Operand a, Operand b, BlockId target);
+
+/** Make an unconditional jump. */
+Operation makeJump(BlockId target);
+
+} // namespace lbp
+
+#endif // LBP_IR_OPERATION_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Textual dumping of IR for debugging and golden tests.
+ */
+
+#ifndef LBP_IR_PRINTER_HH
+#define LBP_IR_PRINTER_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/program.hh"
+
+namespace lbp
+{
+
+/** Render one operation to a string (assembly-like syntax). */
+std::string toString(const Operation &op, const Function *fn = nullptr);
+
+/** Dump a function (blocks in id order, live only). */
+void print(std::ostream &os, const Function &fn);
+
+/** Dump a whole program. */
+void print(std::ostream &os, const Program &prog);
+
+/** Convenience: function dump into a string. */
+std::string toString(const Function &fn);
+
+} // namespace lbp
+
+#endif // LBP_IR_PRINTER_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Program: a set of functions plus an initial data-memory image.
+ */
+
+#ifndef LBP_IR_PROGRAM_HH
+#define LBP_IR_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace lbp
+{
+
+class Program
+{
+  public:
+    std::string name;
+    std::vector<Function> functions;
+    FuncId entryFunc = kNoFunc;
+
+    /** Initial data memory image (byte addressable, zero-initialized). */
+    std::vector<std::uint8_t> memory;
+
+    /**
+     * [checksumBase, checksumBase+checksumSize) is the output region
+     * hashed into the program's result checksum after execution.
+     */
+    std::int64_t checksumBase = 0;
+    std::int64_t checksumSize = 0;
+
+    /** Create a new function and return its id. */
+    FuncId newFunction(const std::string &fname);
+
+    Function &function(FuncId f) { return functions[f]; }
+    const Function &function(FuncId f) const { return functions[f]; }
+
+    /** Find a function id by name; kNoFunc if absent. */
+    FuncId findFunction(const std::string &fname) const;
+
+    /**
+     * Reserve @p bytes of data memory aligned to @p align and return
+     * the base address.
+     */
+    std::int64_t allocData(std::int64_t bytes, std::int64_t align = 8);
+
+    /** Store helpers for building initial memory images. */
+    void poke8(std::int64_t addr, std::uint8_t v);
+    void poke16(std::int64_t addr, std::int16_t v);
+    void poke32(std::int64_t addr, std::int32_t v);
+    std::int32_t peek32(std::int64_t addr) const;
+
+    /** Total non-NOP static operations across all functions. */
+    int sizeOps() const;
+};
+
+} // namespace lbp
+
+#endif // LBP_IR_PROGRAM_HH

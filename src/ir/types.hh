@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental identifier types shared across the IR.
+ */
+
+#ifndef LBP_IR_TYPES_HH
+#define LBP_IR_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace lbp
+{
+
+/** Virtual general register id (unlimited supply pre-allocation). */
+using RegId = std::uint32_t;
+
+/** Virtual predicate register id. 0 is reserved for "no guard". */
+using PredId = std::uint32_t;
+
+/** Basic block id, an index into Function::blocks. */
+using BlockId = std::uint32_t;
+
+/** Function id, an index into Program::functions. */
+using FuncId = std::uint32_t;
+
+/** Operation id, unique within a function. */
+using OpId = std::uint32_t;
+
+constexpr BlockId kNoBlock = std::numeric_limits<BlockId>::max();
+constexpr FuncId kNoFunc = std::numeric_limits<FuncId>::max();
+constexpr PredId kNoPred = 0;
+constexpr int kNoSlot = -1;
+
+/** Issue width of the modeled VLIW (Figure 6 of the paper). */
+constexpr int kIssueWidth = 8;
+
+} // namespace lbp
+
+#endif // LBP_IR_TYPES_HH

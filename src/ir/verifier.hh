@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Structural IR verifier. Run after construction and after every
+ * transformation; any violation is a compiler bug (panics).
+ */
+
+#ifndef LBP_IR_VERIFIER_HH
+#define LBP_IR_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace lbp
+{
+
+/** Verification options. */
+struct VerifyOptions
+{
+    /**
+     * Before hyperblock formation, branches may only terminate blocks.
+     * After, predicated side exits are legal mid-block.
+     */
+    bool allowInternalBranches = false;
+};
+
+/**
+ * Check structural invariants of @p fn; returns a list of violation
+ * messages (empty = OK).
+ */
+std::vector<std::string> verify(const Function &fn,
+                                const VerifyOptions &opts = {});
+
+/** Verify all functions of @p prog. */
+std::vector<std::string> verify(const Program &prog,
+                                const VerifyOptions &opts = {});
+
+/** Panic with diagnostics if verification fails. */
+void verifyOrDie(const Program &prog, const VerifyOptions &opts = {});
+void verifyOrDie(const Function &fn, const VerifyOptions &opts = {});
+
+} // namespace lbp
+
+#endif // LBP_IR_VERIFIER_HH

@@ -1,0 +1,79 @@
+#include "mach/machine.hh"
+
+#include "support/logging.hh"
+
+namespace lbp
+{
+
+namespace
+{
+
+constexpr std::uint8_t
+bit(UnitClass u)
+{
+    return static_cast<std::uint8_t>(1u << static_cast<unsigned>(u));
+}
+
+} // namespace
+
+Machine::Machine()
+{
+    const std::uint8_t IALU = bit(UnitClass::IALU);
+    const std::uint8_t IMUL = bit(UnitClass::IMUL);
+    const std::uint8_t MEM = bit(UnitClass::MEM);
+    const std::uint8_t BR = bit(UnitClass::BR);
+    const std::uint8_t FPU = bit(UnitClass::FPU);
+    const std::uint8_t PRED = bit(UnitClass::PRED);
+
+    caps_[0] = IALU | PRED | BR;
+    caps_[1] = IALU | PRED | MEM;
+    caps_[2] = IALU | MEM;
+    caps_[3] = IALU | MEM;
+    caps_[4] = IALU | PRED;
+    caps_[5] = IALU | PRED;
+    caps_[6] = IALU | IMUL | FPU;
+    caps_[7] = IALU | IMUL | FPU;
+
+    for (int u = 0; u < static_cast<int>(UnitClass::NUM_CLASSES); ++u) {
+        for (int s = 0; s < width; ++s) {
+            if (caps_[s] & bit(static_cast<UnitClass>(u)))
+                slotsFor_[u].push_back(s);
+        }
+    }
+}
+
+bool
+Machine::slotSupports(int slot, UnitClass u) const
+{
+    LBP_ASSERT(slot >= 0 && slot < width, "bad slot ", slot);
+    return (caps_[slot] & bit(u)) != 0;
+}
+
+bool
+Machine::slotSupports(int slot, Opcode op) const
+{
+    return slotSupports(slot, unitClassOf(op));
+}
+
+const std::vector<int> &
+Machine::slotsFor(UnitClass u) const
+{
+    return slotsFor_[static_cast<size_t>(u)];
+}
+
+int
+Machine::unitCount(UnitClass u) const
+{
+    return static_cast<int>(slotsFor(u).size());
+}
+
+int
+Machine::guardFieldBits(int numPreds)
+{
+    int bits = 0;
+    while ((1 << bits) < numPreds)
+        ++bits;
+    return bits;
+}
+
+} // namespace lbp

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The modeled 8-wide VLIW machine (paper §7, Figure 6): slot
+ * capabilities, functional-unit counts, latencies, branch penalty, and
+ * the 32-bit operation encoding assumptions (NOP-free compressed
+ * bundles).
+ *
+ * Slot map (all eight slots have an integer ALU):
+ *   slot 0: Ialu, Pred, Br
+ *   slot 1: Ialu, Pred, Mem
+ *   slot 2: Ialu, Mem
+ *   slot 3: Ialu, Mem
+ *   slot 4: Ialu, Pred
+ *   slot 5: Ialu, Pred
+ *   slot 6: Ialu, Imul, F
+ *   slot 7: Ialu, Imul, F
+ *
+ * This realizes the paper's unit inventory: eight integer ALUs, two of
+ * which issue integer multiplies, three memory units, one branch unit,
+ * two floating-point units, and four predicate-generating units; every
+ * slot can *receive* predicates.
+ */
+
+#ifndef LBP_MACH_MACHINE_HH
+#define LBP_MACH_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ir/opcode.hh"
+#include "ir/types.hh"
+
+namespace lbp
+{
+
+class Machine
+{
+  public:
+    Machine();
+
+    static constexpr int width = kIssueWidth;
+
+    /** Can @p slot issue operations of unit class @p u? */
+    bool slotSupports(int slot, UnitClass u) const;
+
+    /** Can @p slot issue opcode @p op? */
+    bool slotSupports(int slot, Opcode op) const;
+
+    /** All slots capable of issuing @p u, in preference order. */
+    const std::vector<int> &slotsFor(UnitClass u) const;
+
+    /** Number of units of class @p u. */
+    int unitCount(UnitClass u) const;
+
+    /** Taken-branch penalty in cycles when not buffer-resident. */
+    int branchPenalty() const { return branchPenalty_; }
+    void setBranchPenalty(int p) { branchPenalty_ = p; }
+
+    /** Operation encoding width in bits (32, per §7). */
+    static constexpr int opBits = 32;
+
+    /**
+     * Encoding cost in bits per operation of a guard-predicate field
+     * addressing @p numPreds predicate registers (the full-predication
+     * alternative the paper rejects for embedded encodings).
+     */
+    static int guardFieldBits(int numPreds);
+
+  private:
+    std::array<std::uint8_t, width> caps_; // bitmask over UnitClass
+    std::array<std::vector<int>,
+               static_cast<size_t>(UnitClass::NUM_CLASSES)> slotsFor_;
+    int branchPenalty_ = 4;
+};
+
+} // namespace lbp
+
+#endif // LBP_MACH_MACHINE_HH

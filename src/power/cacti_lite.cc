@@ -1,0 +1,59 @@
+#include "power/cacti_lite.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace lbp
+{
+
+CactiLite::CactiLite()
+{
+    // Calibrate portExp so that
+    //   (kMemBytes / refBytes)^sizeExp * (kMemPorts)^portExp == 41.8.
+    const double refBytes = kRefBufferOps * kOpBytes;
+    const double sizeFactor =
+        std::pow(kMemBytes / refBytes, kSizeExp);
+    LBP_ASSERT(sizeFactor > 0 && sizeFactor < kTargetRatio,
+               "size factor out of calibration range");
+    portExp_ = std::log(kTargetRatio / sizeFactor) /
+               std::log(static_cast<double>(kMemPorts));
+    // Absolute scale: 0.05 nJ for the reference single-port buffer
+    // read (order of magnitude of small-SRAM reads at 0.13 um; only
+    // ratios matter downstream).
+    e0_ = 0.05;
+}
+
+double
+CactiLite::readEnergy(double bytes, int ports) const
+{
+    LBP_ASSERT(bytes > 0 && ports >= 1, "bad SRAM parameters");
+    const double refBytes = kRefBufferOps * kOpBytes;
+    return e0_ * std::pow(bytes / refBytes, kSizeExp) *
+           std::pow(static_cast<double>(ports), portExp_);
+}
+
+double
+CactiLite::memoryFetchEnergy() const
+{
+    return readEnergy(kMemBytes, kMemPorts);
+}
+
+double
+CactiLite::bufferFetchEnergy(int bufferOps) const
+{
+    // Zero-capacity buffer: fetches come from memory anyway; return
+    // the memory energy so callers can use this uniformly.
+    if (bufferOps <= 0)
+        return memoryFetchEnergy();
+    return readEnergy(bufferOps * kOpBytes, 1);
+}
+
+double
+CactiLite::calibratedRatio() const
+{
+    return memoryFetchEnergy() /
+           bufferFetchEnergy(static_cast<int>(kRefBufferOps));
+}
+
+} // namespace lbp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Analytic SRAM read-energy model in the spirit of CACTI 2.0 (paper
+ * §7.2). The paper's only consumed output is the per-access energy
+ * ratio between the global instruction memory and the loop buffer, so
+ * this model uses a compact scaling law —
+ *
+ *     E(bytes, ports) = E0 * (bytes / refBytes)^sizeExp * ports^portExp
+ *
+ * — with sizeExp = 0.5 (bitline/wordline lengths grow with the square
+ * root of capacity in a square array) and portExp calibrated so that
+ * a 512 KB 2-RW-port memory costs exactly 41.8x more per read than a
+ * 1 KB (256 x 32-bit operations) single-port buffer, the 0.13 um
+ * CACTI result the paper reports.
+ */
+
+#ifndef LBP_POWER_CACTI_LITE_HH
+#define LBP_POWER_CACTI_LITE_HH
+
+#include <cstdint>
+
+namespace lbp
+{
+
+/** Analytic SRAM read-energy model. */
+class CactiLite
+{
+  public:
+    CactiLite();
+
+    /** Read energy (nJ) of one access to a (bytes, ports) SRAM. */
+    double readEnergy(double bytes, int ports) const;
+
+    /** Energy of one 32-bit op fetch from the global memory. */
+    double memoryFetchEnergy() const;
+
+    /** Energy of one op fetch from a buffer of @p bufferOps ops. */
+    double bufferFetchEnergy(int bufferOps) const;
+
+    /** The calibrated memory/buffer per-access ratio at 256 ops. */
+    double calibratedRatio() const;
+
+    // Model constants (exposed for tests and documentation).
+    static constexpr double kMemBytes = 512.0 * 1024.0;
+    static constexpr int kMemPorts = 2;
+    static constexpr double kRefBufferOps = 256.0;
+    static constexpr double kOpBytes = 4.0;
+    static constexpr double kTargetRatio = 41.8;
+    static constexpr double kSizeExp = 0.5;
+
+  private:
+    double e0_ = 1.0;      ///< nJ at the reference buffer size
+    double portExp_ = 1.0; ///< calibrated
+};
+
+} // namespace lbp
+
+#endif // LBP_POWER_CACTI_LITE_HH

@@ -1,0 +1,27 @@
+#include "power/fetch_energy.hh"
+
+namespace lbp
+{
+
+FetchEnergy
+computeFetchEnergy(const SimStats &stats, int bufferOps,
+                   const CactiLite &model)
+{
+    FetchEnergy e;
+    e.opsFromBuffer = stats.opsFromBuffer;
+    e.opsFromMemory = stats.opsFetched - stats.opsFromBuffer;
+    e.memoryNj = static_cast<double>(e.opsFromMemory) *
+                 model.memoryFetchEnergy();
+    e.bufferNj = static_cast<double>(e.opsFromBuffer) *
+                 model.bufferFetchEnergy(bufferOps);
+    e.totalNj = e.memoryNj + e.bufferNj;
+    return e;
+}
+
+double
+unbufferedEnergyNj(std::uint64_t opsFetched, const CactiLite &model)
+{
+    return static_cast<double>(opsFetched) * model.memoryFetchEnergy();
+}
+
+} // namespace lbp

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Instruction-fetch energy aggregation (paper Figure 8b): combines
+ * simulator fetch counters with the CACTI-lite per-access energies
+ * into total and normalized fetch energy.
+ */
+
+#ifndef LBP_POWER_FETCH_ENERGY_HH
+#define LBP_POWER_FETCH_ENERGY_HH
+
+#include "power/cacti_lite.hh"
+#include "sim/vliw_sim.hh"
+
+namespace lbp
+{
+
+struct FetchEnergy
+{
+    double totalNj = 0;
+    double memoryNj = 0;
+    double bufferNj = 0;
+    std::uint64_t opsFromMemory = 0;
+    std::uint64_t opsFromBuffer = 0;
+};
+
+/** Fetch energy of one simulated run with a given buffer size. */
+FetchEnergy computeFetchEnergy(const SimStats &stats, int bufferOps,
+                               const CactiLite &model = CactiLite());
+
+/**
+ * Energy the same op stream would cost with no buffer at all — the
+ * normalization baseline of Figure 8b.
+ */
+double unbufferedEnergyNj(std::uint64_t opsFetched,
+                          const CactiLite &model = CactiLite());
+
+} // namespace lbp
+
+#endif // LBP_POWER_FETCH_ENERGY_HH

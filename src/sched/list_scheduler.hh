@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Cycle-driven list scheduler for acyclic (non-loop) blocks: greedy
+ * height-priority scheduling into VLIW bundles with slot-capability
+ * constraints.
+ */
+
+#ifndef LBP_SCHED_LIST_SCHEDULER_HH
+#define LBP_SCHED_LIST_SCHEDULER_HH
+
+#include "sched/schedule.hh"
+
+namespace lbp
+{
+
+/** List-schedule one block (no loop-carried dependences considered). */
+SchedBlock listScheduleBlock(const BasicBlock &bb, const Machine &machine);
+
+} // namespace lbp
+
+#endif // LBP_SCHED_LIST_SCHEDULER_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Iterative modulo scheduling (Rau, MICRO-27) for simple loop bodies.
+ *
+ * Computes II = max(ResMII, RecMII) and schedules into a modulo
+ * reservation table with bounded ejection ("budget"); on failure the
+ * II is incremented. The result is a flat one-iteration schedule plus
+ * the initiation interval and the modulo-variable-expansion factor;
+ * the simulator times N iterations of a pipelined, buffered loop as
+ * (N-1)*II + L and the buffer image occupies bodyOps * mveFactor
+ * operations (physically expanded kernels are how mpg123's buffer
+ * pressure arises in the paper).
+ */
+
+#ifndef LBP_SCHED_MODULO_SCHEDULER_HH
+#define LBP_SCHED_MODULO_SCHEDULER_HH
+
+#include "sched/schedule.hh"
+
+namespace lbp
+{
+
+struct ModuloOptions
+{
+    /** Ejection budget multiplier (budget = ratio * numOps per II). */
+    int budgetRatio = 6;
+
+    /** Give up raising II beyond maxII (fall back to list schedule). */
+    int maxII = 512;
+
+    /**
+     * Architected rotating registers (paper §7.1 future work): kernel
+     * values are renamed in hardware each iteration, so modulo
+     * variable expansion is unnecessary and the buffer image stays at
+     * one kernel copy (mveFactor == 1).
+     */
+    bool rotatingRegisters = false;
+};
+
+struct ModuloResult
+{
+    bool success = false;
+    int resMII = 0;
+    int recMII = 0;
+};
+
+/**
+ * Modulo-schedule the single-block loop body @p bb. On failure the
+ * returned SchedBlock has pipelined == false and the caller should
+ * list-schedule instead.
+ */
+SchedBlock moduloScheduleLoop(const BasicBlock &bb,
+                              const Machine &machine,
+                              const ModuloOptions &opts = {},
+                              ModuloResult *outInfo = nullptr);
+
+/** Lower bound on II from machine resources. */
+int computeResMII(const BasicBlock &bb, const Machine &machine);
+
+} // namespace lbp
+
+#endif // LBP_SCHED_MODULO_SCHEDULER_HH

@@ -1,0 +1,49 @@
+#include "sim/loop_buffer.hh"
+
+#include "support/logging.hh"
+
+namespace lbp
+{
+
+LoopBuffer::LoopBuffer(int capacityOps) : capacity_(capacityOps)
+{
+    LBP_ASSERT(capacityOps >= 0, "negative buffer capacity");
+}
+
+bool
+LoopBuffer::isResident(const LoopKey &key) const
+{
+    return resident_.count(key) != 0;
+}
+
+void
+LoopBuffer::record(const LoopKey &key, int bufAddr, int sizeOps)
+{
+    LBP_ASSERT(bufAddr >= 0 && sizeOps > 0 &&
+               bufAddr + sizeOps <= capacity_,
+               "loop image does not fit the buffer: addr=", bufAddr,
+               " size=", sizeOps, " cap=", capacity_);
+    // Invalidate overlapped images (and any stale image of this key).
+    for (auto it = resident_.begin(); it != resident_.end();) {
+        const bool overlaps = it->second.addr < bufAddr + sizeOps &&
+                              bufAddr < it->second.addr +
+                                            it->second.size;
+        if (overlaps || it->first == key) {
+            if (!(it->first == key))
+                ++evictions_;
+            it = resident_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    resident_[key] = {bufAddr, sizeOps};
+    ++recordings_;
+}
+
+void
+LoopBuffer::clear()
+{
+    resident_.clear();
+}
+
+} // namespace lbp

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Functional, cycle-accounting simulator for scheduled VLIW code.
+ *
+ * Executes a SchedProgram bundle by bundle with two-phase (read all,
+ * then commit) bundle semantics, hardware-loop contexts driven by the
+ * Table-3 buffer operations, and one of two predication
+ * micro-architectures:
+ *
+ *  - REGISTER: a predicate register file consulted through each
+ *    operation's guard operand (full predication, the costly scheme);
+ *  - SLOT: per-issue-slot standing predicates set by slot-routed
+ *    predicate defines; operations carry only a sensitivity bit
+ *    (the paper's low-overhead scheme, §4.2).
+ *
+ * Timing model (paper §7 machine):
+ *  - one bundle per cycle;
+ *  - taken control transfers fetched from global memory pay the
+ *    branch penalty; loop-backs executing from the loop buffer are
+ *    free, and counted-loop exits from the buffer are predicted
+ *    (free) while while-loop exits pay the penalty;
+ *  - a pipelined (modulo-scheduled), buffered loop activation of N
+ *    iterations retires in L + (N-1)*II cycles.
+ */
+
+#ifndef LBP_SIM_VLIW_SIM_HH
+#define LBP_SIM_VLIW_SIM_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sched/schedule.hh"
+#include "sim/loop_buffer.hh"
+
+namespace lbp
+{
+
+/** Predication micro-architecture selector. */
+enum class PredMode
+{
+    REGISTER,
+    SLOT,
+};
+
+/** Per-loop execution statistics (drives the Figure 5 traces). */
+struct LoopStats
+{
+    std::string name;
+    int imageOps = 0;
+    int bufAddr = -1;
+    std::uint64_t activations = 0;
+    std::uint64_t recordings = 0;
+    std::uint64_t iterations = 0;
+    std::uint64_t bufferIterations = 0;
+};
+
+/** Aggregate execution statistics. */
+struct SimStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t bundles = 0;
+    std::uint64_t opsFetched = 0;
+    std::uint64_t opsFromBuffer = 0;
+    std::uint64_t opsNullified = 0;
+    std::uint64_t opsSensitive = 0;   ///< slot mode: p-bit set
+    std::uint64_t branches = 0;
+    std::uint64_t branchesTaken = 0;
+    std::uint64_t branchPenaltyCycles = 0;
+    std::uint64_t checksum = 0;
+    std::vector<std::int64_t> returns;
+
+    std::map<LoopKey, LoopStats> loops;
+
+    double bufferFraction() const
+    {
+        return opsFetched ? static_cast<double>(opsFromBuffer) /
+                                static_cast<double>(opsFetched)
+                          : 0.0;
+    }
+};
+
+/** Simulator configuration. */
+struct SimConfig
+{
+    int bufferOps = 256;     ///< loop buffer capacity in operations
+    /**
+     * SLOT is the universally-correct default: sensitive (lowered)
+     * operations consult their slot's standing predicate while
+     * unlowered guarded operations still read the predicate register
+     * file. REGISTER mode is only valid for code compiled without
+     * slot lowering (slot-routed defines bypass the register file).
+     */
+    PredMode predMode = PredMode::SLOT;
+    int branchPenalty = 4;
+    std::uint64_t maxBundles = 4'000'000'000ull;
+};
+
+/** The simulator. */
+class VliwSim
+{
+  public:
+    VliwSim(const SchedProgram &code, const SimConfig &cfg);
+
+    /** Run the program's entry function; memory is re-imaged. */
+    SimStats run(const std::vector<std::int64_t> &args = {});
+
+    const LoopBuffer &buffer() const { return buffer_; }
+
+  private:
+    struct Frame
+    {
+        const Function *fn = nullptr;
+        const SchedFunction *sf = nullptr;
+        std::vector<std::int64_t> regs;
+        std::vector<std::uint8_t> preds;
+    };
+
+    struct LoopCtx
+    {
+        LoopKey key;
+        bool counted = false;
+        std::int64_t remaining = 0;
+        BlockId head = kNoBlock;
+        bool buffered = false;    ///< image has a buffer address
+        bool fromBuffer = false;  ///< current fetches hit the buffer
+        bool pipelined = false;
+        int bodyLen = 0;          ///< schedule length L
+        int ii = 0;
+        std::uint64_t iterations = 0;
+        // Resume point for EXEC-entered loops.
+        bool isExec = false;
+        BlockId resumeBlock = kNoBlock;
+        size_t resumeBundle = 0;
+    };
+
+    std::vector<std::int64_t> callFunction(FuncId f,
+                                           const std::vector<std::int64_t>
+                                               &args);
+
+    std::int64_t readOperand(const Frame &fr, const Operand &o) const;
+    bool opExecutes(const Frame &fr, const Operation &op,
+                    int slot) const;
+
+    const SchedProgram &code_;
+    SimConfig cfg_;
+    LoopBuffer buffer_;
+    std::vector<std::uint8_t> mem_;
+    SimStats stats_;
+    std::uint64_t bundlesExecuted_ = 0;
+    int callDepth_ = 0;
+
+    /** Slot standing predicates (physical machine state). */
+    std::array<std::uint8_t, Machine::width> slotPred_;
+};
+
+} // namespace lbp
+
+#endif // LBP_SIM_VLIW_SIM_HH

@@ -1,0 +1,34 @@
+#include "support/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace lbp
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    // Throw rather than exit(1) so library users (and tests) can catch
+    // user-class errors.
+    throw std::runtime_error(std::string("fatal: ") + msg + " @ " + file +
+                             ":" + std::to_string(line));
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "warn: " << msg << " @ " << file << ":" << line
+              << std::endl;
+}
+
+} // namespace lbp

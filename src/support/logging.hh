@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — internal invariant violated (a bug in lbp itself).
+ * fatal()  — the caller asked for something lbp cannot do (user error).
+ * warn()   — something suspicious but survivable happened.
+ */
+
+#ifndef LBP_SUPPORT_LOGGING_HH
+#define LBP_SUPPORT_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace lbp
+{
+
+/** Abort with a bug-class diagnostic. Never returns. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Exit with a user-error diagnostic. Never returns. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Emit a non-fatal warning to stderr. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+namespace detail
+{
+
+inline void
+formatInto(std::ostringstream &os)
+{
+    (void)os;
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+formatArgs(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace lbp
+
+#define LBP_PANIC(...) \
+    ::lbp::panicImpl(__FILE__, __LINE__, ::lbp::detail::formatArgs(__VA_ARGS__))
+
+#define LBP_FATAL(...) \
+    ::lbp::fatalImpl(__FILE__, __LINE__, ::lbp::detail::formatArgs(__VA_ARGS__))
+
+#define LBP_WARN(...) \
+    ::lbp::warnImpl(__FILE__, __LINE__, ::lbp::detail::formatArgs(__VA_ARGS__))
+
+/** Invariant check that survives NDEBUG builds. */
+#define LBP_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::lbp::panicImpl(__FILE__, __LINE__,                            \
+                std::string("assertion failed: " #cond " ") +               \
+                ::lbp::detail::formatArgs(__VA_ARGS__));                    \
+        }                                                                   \
+    } while (0)
+
+#endif // LBP_SUPPORT_LOGGING_HH

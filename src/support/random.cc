@@ -1,0 +1,78 @@
+#include "support/random.hh"
+
+#include "support/logging.hh"
+
+namespace lbp
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    s0_ = splitmix64(x);
+    s1_ = splitmix64(x);
+    if (s0_ == 0 && s1_ == 0)
+        s1_ = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    LBP_ASSERT(bound > 0, "nextBelow(0)");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~0ull - (~0ull % bound) - 1;
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v > limit);
+    return v % bound;
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    LBP_ASSERT(lo <= hi, "bad range");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    return lo + static_cast<std::int64_t>(span == 0 ? next()
+                                                    : nextBelow(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool
+Rng::chance(double p)
+{
+    return nextDouble() < p;
+}
+
+} // namespace lbp

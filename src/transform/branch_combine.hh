@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Branch combining (paper §3): in a hyperblock loop body with several
+ * rarely-taken predicated side exits, a "summary predicate" is
+ * computed with or-type defines wherever any exit predicate is set;
+ * the individual exits are replaced by a single summary jump to a
+ * "decode block" that discerns the originally-desired direction by
+ * testing the preserved exit predicates.
+ */
+
+#ifndef LBP_TRANSFORM_BRANCH_COMBINE_HH
+#define LBP_TRANSFORM_BRANCH_COMBINE_HH
+
+#include "ir/program.hh"
+
+namespace lbp
+{
+
+struct BranchCombineOptions
+{
+    /** Combine only when at least this many side exits qualify. */
+    int minExits = 2;
+};
+
+struct BranchCombineStats
+{
+    int loopsCombined = 0;
+    int exitsCombined = 0;
+};
+
+/** Combine side exits in eligible hyperblock loops of @p fn. */
+BranchCombineStats combineBranches(Function &fn,
+                                   const BranchCombineOptions &opts = {});
+
+/** Program-wide driver. */
+BranchCombineStats combineBranches(Program &prog,
+                                   const BranchCombineOptions &opts = {});
+
+} // namespace lbp
+
+#endif // LBP_TRANSFORM_BRANCH_COMBINE_HH

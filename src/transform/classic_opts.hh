@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Classic scalar optimizations: local constant folding and copy
+ * propagation, global dead-code elimination, and algebraic
+ * simplification. These run before and after the control
+ * transformations (the paper's "traditional loop optimizations").
+ */
+
+#ifndef LBP_TRANSFORM_CLASSIC_OPTS_HH
+#define LBP_TRANSFORM_CLASSIC_OPTS_HH
+
+#include "ir/program.hh"
+
+namespace lbp
+{
+
+/** Aggregate change counts from an optimization run. */
+struct OptStats
+{
+    int folded = 0;
+    int propagated = 0;
+    int eliminated = 0;
+
+    bool any() const { return folded || propagated || eliminated; }
+
+    OptStats &operator+=(const OptStats &o)
+    {
+        folded += o.folded;
+        propagated += o.propagated;
+        eliminated += o.eliminated;
+        return *this;
+    }
+};
+
+/** Fold constant expressions and simplify algebraic identities. */
+OptStats constantFold(Function &fn);
+
+/** Local (within-block) copy and constant propagation. */
+OptStats copyPropagate(Function &fn);
+
+/** Remove operations whose results are provably unused. */
+OptStats deadCodeElim(Function &fn);
+
+/** Run fold/propagate/DCE to a fixpoint on one function. */
+OptStats optimizeFunction(Function &fn, int max_rounds = 8);
+
+/** Run optimizeFunction on every function. */
+OptStats optimizeProgram(Program &prog);
+
+} // namespace lbp
+
+#endif // LBP_TRANSFORM_CLASSIC_OPTS_HH

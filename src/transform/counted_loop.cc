@@ -1,0 +1,153 @@
+#include "transform/counted_loop.hh"
+
+#include "analysis/loop_info.hh"
+#include "support/logging.hh"
+
+namespace lbp
+{
+
+namespace
+{
+
+/** Insert @p op into @p bb just before its terminator (if any). */
+void
+insertBeforeTerminator(BasicBlock &bb, Operation op)
+{
+    if (!bb.ops.empty() && (bb.ops.back().isBranchOp() ||
+                            bb.ops.back().op == Opcode::RET)) {
+        bb.ops.insert(bb.ops.end() - 1, std::move(op));
+    } else {
+        bb.ops.push_back(std::move(op));
+    }
+}
+
+} // namespace
+
+Operand
+emitTripCountOps(Function &fn, BasicBlock &pre, const InductionInfo &ind)
+{
+    // Constant trip: nothing to compute.
+    if (ind.constTrip >= 1)
+        return Operand::imm(ind.constTrip);
+
+    std::int64_t adj = 0;
+    bool up;
+    switch (ind.cond) {
+      case CmpCond::LT: adj = -1; up = true; break;
+      case CmpCond::LE: adj = 0; up = true; break;
+      case CmpCond::GT: adj = 1; up = false; break;
+      case CmpCond::GE: adj = 0; up = false; break;
+      default: return Operand{};
+    }
+    if (up != (ind.step > 0))
+        return Operand{};
+
+    auto emit = [&](Operation op) -> RegId {
+        op.id = fn.newOpId();
+        insertBeforeTerminator(pre, op);
+        return op.dsts[0].asReg();
+    };
+
+    // diff = (bound + adj) - ind      (for upward loops)
+    // diff = ind - (bound + adj)      (for downward loops)
+    RegId limit = fn.newReg();
+    emit(makeBinary(Opcode::ADD, limit, ind.bound, Operand::imm(adj)));
+    RegId diff = fn.newReg();
+    if (up) {
+        emit(makeBinary(Opcode::SUB, diff, Operand::reg(limit),
+                        Operand::reg(ind.reg)));
+    } else {
+        emit(makeBinary(Opcode::SUB, diff, Operand::reg(ind.reg),
+                        Operand::reg(limit)));
+    }
+    // trips = max(diff / |step| + 1, 1); bottom-test loops always run
+    // at least once. Negative diff divides toward zero, so the +1 /
+    // max(,1) sequence is exact for all inputs.
+    const std::int64_t astep = ind.step > 0 ? ind.step : -ind.step;
+    RegId q = fn.newReg();
+    emit(makeBinary(Opcode::DIV, q, Operand::reg(diff),
+                    Operand::imm(astep)));
+    RegId t1 = fn.newReg();
+    emit(makeBinary(Opcode::ADD, t1, Operand::reg(q), Operand::imm(1)));
+    RegId trips = fn.newReg();
+    emit(makeBinary(Opcode::MAX, trips, Operand::reg(t1),
+                    Operand::imm(1)));
+    return Operand::reg(trips);
+}
+
+CountedLoopStats
+convertCountedLoops(Function &fn)
+{
+    CountedLoopStats st;
+    LoopInfo li(fn);
+    for (const auto &loop : li.loops()) {
+        if (!li.isSimple(loop.index))
+            continue;
+        if (loop.preheader == kNoBlock)
+            continue;
+        BasicBlock &body = fn.blocks[loop.header];
+        Operation *term = body.terminator();
+        if (!term ||
+            (term->op != Opcode::BR && term->op != Opcode::BR_WLOOP)) {
+            continue; // already converted or irregular
+        }
+        if (term->hasGuard())
+            continue;
+        BasicBlock &pre = fn.blocks[loop.preheader];
+        // The REC op executes unconditionally in the preheader, so the
+        // preheader must have the loop header as its only successor
+        // (otherwise a stale hardware-loop context could be pushed).
+        {
+            auto succs = pre.successors();
+            if (succs.size() != 1 || succs[0] != loop.header)
+                continue;
+        }
+
+        Operand trips;
+        if (loop.induction.valid)
+            trips = emitTripCountOps(fn, pre, loop.induction);
+
+        if (!trips.isNone()) {
+            // REC_CLOOP trips in the preheader; BR_CLOOP back branch.
+            Operation rec;
+            rec.op = Opcode::REC_CLOOP;
+            rec.srcs = {trips};
+            rec.target = loop.header;
+            rec.id = fn.newOpId();
+            insertBeforeTerminator(pre, std::move(rec));
+
+            Operation cloop;
+            cloop.op = Opcode::BR_CLOOP;
+            cloop.target = loop.header;
+            cloop.id = fn.newOpId();
+            *term = std::move(cloop);
+            ++st.cloops;
+        } else {
+            // While-loop hardware form: REC_WLOOP + BR_WLOOP, keeping
+            // the original branch condition.
+            Operation rec;
+            rec.op = Opcode::REC_WLOOP;
+            rec.target = loop.header;
+            rec.id = fn.newOpId();
+            insertBeforeTerminator(pre, std::move(rec));
+
+            term->op = Opcode::BR_WLOOP;
+            ++st.wloops;
+        }
+    }
+    return st;
+}
+
+CountedLoopStats
+convertCountedLoops(Program &prog)
+{
+    CountedLoopStats st;
+    for (auto &fn : prog.functions) {
+        auto s = convertCountedLoops(fn);
+        st.cloops += s.cloops;
+        st.wloops += s.wloops;
+    }
+    return st;
+}
+
+} // namespace lbp

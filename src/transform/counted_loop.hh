@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Counted-loop finalization: rewrites simple (single-block) loops into
+ * the hardware-loop form of Table 3. Counted loops get a REC_CLOOP
+ * preface computing the trip count plus a BR_CLOOP back branch;
+ * remaining simple loops get REC_WLOOP + BR_WLOOP. The loop buffer
+ * allocator later decides which of these actually record into the
+ * buffer (bufAddr >= 0).
+ */
+
+#ifndef LBP_TRANSFORM_COUNTED_LOOP_HH
+#define LBP_TRANSFORM_COUNTED_LOOP_HH
+
+#include "ir/program.hh"
+
+namespace lbp
+{
+
+struct CountedLoopStats
+{
+    int cloops = 0;  ///< loops converted to counted hardware form
+    int wloops = 0;  ///< loops converted to while hardware form
+};
+
+/** Convert all eligible simple loops in @p fn. */
+CountedLoopStats convertCountedLoops(Function &fn);
+
+/**
+ * Emit trip-count computation ops at the end of @p pre (before its
+ * terminator) for the canonical bottom-test induction @p ind, and
+ * return the operand holding the trip count (immediate when static).
+ * Returns a NONE operand for unsupported shapes. Shared by
+ * counted-loop conversion and predicated loop collapsing.
+ */
+Operand emitTripCountOps(Function &fn, BasicBlock &pre,
+                         const struct InductionInfo &ind);
+
+/** Convert across the whole program. */
+CountedLoopStats convertCountedLoops(Program &prog);
+
+} // namespace lbp
+
+#endif // LBP_TRANSFORM_COUNTED_LOOP_HH

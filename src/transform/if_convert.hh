@@ -1,0 +1,58 @@
+/**
+ * @file
+ * If-conversion / hyperblock formation (paper §3).
+ *
+ * Converts the body of a loop whose internal control flow is acyclic
+ * into a single predicated block (hyperblock), the shape a loop buffer
+ * can hold. Uses IMPACT-style predicate defines (Table 2): ut/uf pairs
+ * for single-predecessor targets, ot/of contributions for merge
+ * points. Exits that leave the loop become predicated jumps (side
+ * exits), which branch combining may later merge.
+ *
+ * Selection policy: a loop is converted only when every body block is
+ * eligible (no calls/returns, supported branch shapes, single latch,
+ * within the size budget). Cold-path exclusion with tail duplication
+ * is documented future work; the paper's benchmarks that defeat
+ * buffering (mpeg2enc, jpegenc) are modeled through loops that fail
+ * these criteria.
+ */
+
+#ifndef LBP_TRANSFORM_IF_CONVERT_HH
+#define LBP_TRANSFORM_IF_CONVERT_HH
+
+#include "ir/program.hh"
+
+namespace lbp
+{
+
+struct IfConvertOptions
+{
+    /** Maximum hyperblock size in operations. */
+    int maxOps = 512;
+
+    /**
+     * Skip loops whose body blocks were never executed in the profile
+     * (weight 0 everywhere) when true.
+     */
+    bool requireProfile = false;
+};
+
+struct IfConvertStats
+{
+    int loopsConverted = 0;
+    int blocksMerged = 0;
+    int predDefsInserted = 0;
+    int sideExits = 0;
+};
+
+/** If-convert all eligible loops of @p fn (innermost first). */
+IfConvertStats ifConvertLoops(Function &fn,
+                              const IfConvertOptions &opts = {});
+
+/** Program-wide driver. */
+IfConvertStats ifConvertLoops(Program &prog,
+                              const IfConvertOptions &opts = {});
+
+} // namespace lbp
+
+#endif // LBP_TRANSFORM_IF_CONVERT_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Predicated loop collapsing (paper Figure 1b / Figure 2): pulls the
+ * code of an outer loop into its inner loop's body, guarded by a
+ * predicate that fires only on the final inner iteration of each outer
+ * iteration. The doubly-nested loop becomes one simple loop of
+ * n_inner * n_outer iterations, eligible for the loop buffer.
+ *
+ * Requirements (checked): the inner loop is a single block with a
+ * statically-known, invocation-invariant trip count; the outer body
+ * minus the inner loop is a straight path of side-effect-eligible
+ * blocks; the outer loop has a recognizable induction so its trip
+ * count is computable in its preheader.
+ */
+
+#ifndef LBP_TRANSFORM_LOOP_COLLAPSE_HH
+#define LBP_TRANSFORM_LOOP_COLLAPSE_HH
+
+#include "ir/program.hh"
+
+namespace lbp
+{
+
+struct CollapseOptions
+{
+    /** Skip when the outer (pulled-in) code exceeds this many ops. */
+    int maxOuterOps = 24;
+
+    /**
+     * Profitability: the pulled-in outer code must be small relative
+     * to the inner body (paper: "when the number of instructions in
+     * the outer loop is small relative to the inner loop"), since the
+     * guarded outer ops occupy issue slots in *every* collapsed
+     * iteration. Outer ops must not exceed
+     * max(minOuterAllowance, innerOps * maxOuterToInnerRatio).
+     */
+    double maxOuterToInnerRatio = 1.0;
+    int minOuterAllowance = 6;
+
+    /** Skip when the inner trip count exceeds this (paper: "not
+     *  excessive"); very long inner loops gain little. */
+    std::int64_t maxInnerTrip = 4096;
+
+    /** Require the inner trip count to be at least this. */
+    std::int64_t minInnerTrip = 2;
+};
+
+struct CollapseStats
+{
+    int loopsCollapsed = 0;
+    int outerOpsPulledIn = 0;
+};
+
+/** Collapse all eligible loop nests of @p fn. */
+CollapseStats collapseLoops(Function &fn, const CollapseOptions &opts = {});
+
+/** Program-wide driver. */
+CollapseStats collapseLoops(Program &prog,
+                            const CollapseOptions &opts = {});
+
+} // namespace lbp
+
+#endif // LBP_TRANSFORM_LOOP_COLLAPSE_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Complete loop peeling (paper Figure 1a): an inner counted loop with
+ * a small, statically-known trip count is replaced by that many copies
+ * of its body, eliminating the inner backedge so the enclosing loop
+ * can be if-converted and buffered.
+ *
+ * Heuristic from the paper: peel any counted loop of fewer than six
+ * iterations, so long as peeling creates fewer than 36 instructions.
+ */
+
+#ifndef LBP_TRANSFORM_LOOP_PEEL_HH
+#define LBP_TRANSFORM_LOOP_PEEL_HH
+
+#include "ir/program.hh"
+
+namespace lbp
+{
+
+struct PeelOptions
+{
+    /** Peel loops with constTrip <= maxTrip. */
+    std::int64_t maxTrip = 5;
+
+    /** Peel only if trip * bodyOps < maxExpansionOps. */
+    int maxExpansionOps = 36;
+
+    /** Only peel loops nested inside another loop. */
+    bool requireParentLoop = true;
+};
+
+struct PeelStats
+{
+    int loopsPeeled = 0;
+    int opsAdded = 0;
+};
+
+/** Peel all eligible loops of @p fn. */
+PeelStats peelLoops(Function &fn, const PeelOptions &opts = {});
+
+/** Program-wide driver. */
+PeelStats peelLoops(Program &prog, const PeelOptions &opts = {});
+
+} // namespace lbp
+
+#endif // LBP_TRANSFORM_LOOP_PEEL_HH

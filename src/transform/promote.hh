@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Predicate promotion (paper §4.3): removal of the guard from an
+ * operation that may safely execute when its predicate is false. This
+ * shortens predicate live ranges (key for the slot-based scheme's one
+ * predicate per slot) and reduces the fraction of operations that need
+ * the sensitivity bit. Promoted potentially-excepting operations
+ * (loads) are marked speculative; the machine provides non-faulting
+ * speculative forms for everything except stores.
+ */
+
+#ifndef LBP_TRANSFORM_PROMOTE_HH
+#define LBP_TRANSFORM_PROMOTE_HH
+
+#include "ir/program.hh"
+
+namespace lbp
+{
+
+struct PromoteStats
+{
+    int promoted = 0;
+    int speculativeLoads = 0;
+};
+
+/**
+ * Promote guarded operations in every block of @p fn. An op guarded
+ * by p writing register r is promoted when:
+ *  - it is not a store, branch, call, or predicate define,
+ *  - it is not a potentially-excepting DIV/REM,
+ *  - every in-block reader of the value it produces is itself guarded
+ *    by p (the spurious value is consumed only by nullified ops), and
+ *  - if no later in-block write of r exists, r is not live out of the
+ *    block (the spurious value cannot escape).
+ */
+PromoteStats promoteOperations(Function &fn);
+
+/** Program-wide driver. */
+PromoteStats promoteOperations(Program &prog);
+
+} // namespace lbp
+
+#endif // LBP_TRANSFORM_PROMOTE_HH

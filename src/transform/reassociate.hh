@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Expression reassociation (height reduction). The paper's Figure-2d
+ * walkthrough names this among the transformations that keep
+ * collapsing/pipelining profitable: a serial chain of k associative
+ * operations (acc = ((a+b)+c)+d...) is rebalanced into a
+ * ceil(log2)-depth tree, shortening both the critical path within an
+ * iteration and accumulator recurrences across iterations.
+ *
+ * A chain is rewritten only when it is provably safe: same opcode and
+ * guard throughout, each intermediate consumed exactly once by the
+ * next link, no interleaved reads of the chained destination, and no
+ * interleaved writes to any leaf operand (the rebuilt tree issues at
+ * the final link's position).
+ */
+
+#ifndef LBP_TRANSFORM_REASSOCIATE_HH
+#define LBP_TRANSFORM_REASSOCIATE_HH
+
+#include "ir/program.hh"
+
+namespace lbp
+{
+
+struct ReassociateStats
+{
+    int chainsRebalanced = 0;
+    int opsInChains = 0;
+};
+
+/** Rebalance associative chains in every block of @p fn. */
+ReassociateStats reassociate(Function &fn);
+
+/** Program-wide driver. */
+ReassociateStats reassociate(Program &prog);
+
+} // namespace lbp
+
+#endif // LBP_TRANSFORM_REASSOCIATE_HH

@@ -1,0 +1,80 @@
+#include "transform/unroll.hh"
+
+#include "analysis/loop_info.hh"
+#include "support/logging.hh"
+
+namespace lbp
+{
+
+bool
+unrollLoop(Function &fn, BlockId header, int factor)
+{
+    LBP_ASSERT(factor >= 2, "unroll factor must be >= 2");
+    LoopInfo li(fn);
+    const Loop *loop = nullptr;
+    for (const auto &l : li.loops()) {
+        if (l.header == header) {
+            loop = &l;
+            break;
+        }
+    }
+    if (!loop || !li.isSimple(loop->index))
+        return false;
+    if (!loop->induction.valid || loop->induction.constTrip < factor)
+        return false;
+    if (loop->induction.constTrip % factor != 0)
+        return false;
+
+    BasicBlock &bb = fn.blocks[header];
+    Operation *term = bb.terminator();
+    if (!term || term->op != Opcode::BR || term->target != header ||
+        term->hasGuard()) {
+        return false;
+    }
+
+    // Body copies: [body-minus-branch] x factor, then the branch.
+    // Registers are not renamed; copies execute back to back exactly
+    // like the original iterations (the induction update is part of
+    // the body, so indexing stays correct).
+    std::vector<Operation> body(bb.ops.begin(), bb.ops.end() - 1);
+    Operation back = bb.ops.back();
+
+    std::vector<Operation> out;
+    for (int k = 0; k < factor; ++k) {
+        for (const auto &op : body) {
+            Operation copy = op;
+            if (k > 0)
+                copy.id = fn.newOpId();
+            out.push_back(std::move(copy));
+        }
+    }
+    out.push_back(std::move(back));
+    bb.ops = std::move(out);
+    return true;
+}
+
+UnrollStats
+unrollSmallLoops(Function &fn, int factor, int maxBodyOps)
+{
+    UnrollStats st;
+    // Collect headers first; unrolling preserves block structure so
+    // no recomputation is required between loops.
+    LoopInfo li(fn);
+    std::vector<BlockId> headers;
+    for (const auto &l : li.loops()) {
+        if (li.isSimple(l.index) &&
+            fn.blocks[l.header].sizeOps() <= maxBodyOps) {
+            headers.push_back(l.header);
+        }
+    }
+    for (BlockId h : headers) {
+        const int before = fn.blocks[h].sizeOps();
+        if (unrollLoop(fn, h, factor)) {
+            ++st.loopsUnrolled;
+            st.opsAdded += fn.blocks[h].sizeOps() - before;
+        }
+    }
+    return st;
+}
+
+} // namespace lbp

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Static loop unrolling for simple counted loops whose trip count is
+ * divisible by the unroll factor. Used by tests, by ILP experiments,
+ * and to physically realize modulo-variable-expansion factors when a
+ * caller wants the expanded body in the buffer image.
+ */
+
+#ifndef LBP_TRANSFORM_UNROLL_HH
+#define LBP_TRANSFORM_UNROLL_HH
+
+#include "ir/program.hh"
+
+namespace lbp
+{
+
+/**
+ * Unroll the simple counted loop headed at @p header by @p factor.
+ * Returns false (leaving the IR untouched) when the loop shape is
+ * unsupported: not a single-block loop, no static trip count, or the
+ * trip count is not divisible by the factor.
+ */
+bool unrollLoop(Function &fn, BlockId header, int factor);
+
+struct UnrollStats
+{
+    int loopsUnrolled = 0;
+    int opsAdded = 0;
+};
+
+/**
+ * Unroll every simple counted loop with body size <= @p maxBodyOps
+ * and static trip divisible by @p factor.
+ */
+UnrollStats unrollSmallLoops(Function &fn, int factor, int maxBodyOps);
+
+} // namespace lbp
+
+#endif // LBP_TRANSFORM_UNROLL_HH

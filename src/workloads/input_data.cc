@@ -1,0 +1,117 @@
+#include "workloads/input_data.hh"
+
+#include <cmath>
+
+#include "support/random.hh"
+
+namespace lbp
+{
+namespace workloads
+{
+
+void
+fillPcm16(Program &prog, std::int64_t base, int n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+        const double phase = static_cast<double>(i) * 0.059;
+        const double tone = 6000.0 * std::sin(phase) +
+                            2500.0 * std::sin(phase * 3.7);
+        const std::int64_t noise = rng.nextRange(-800, 800);
+        std::int64_t v = static_cast<std::int64_t>(tone) + noise;
+        v = std::clamp<std::int64_t>(v, -32768, 32767);
+        prog.poke16(base + 2 * i, static_cast<std::int16_t>(v));
+    }
+}
+
+void
+fillBytes(Program &prog, std::int64_t base, int n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i)
+        prog.poke8(base + i, static_cast<std::uint8_t>(rng.next()));
+}
+
+void
+fillWords(Program &prog, std::int64_t base, int n, std::int64_t lo,
+          std::int64_t hi, std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+        prog.poke32(base + 4 * i,
+                    static_cast<std::int32_t>(rng.nextRange(lo, hi)));
+    }
+}
+
+void
+storeTable32(Program &prog, std::int64_t base, const int *table, int n)
+{
+    for (int i = 0; i < n; ++i)
+        prog.poke32(base + 4 * i, table[i]);
+}
+
+void
+diamond(IRBuilder &b, CmpCond c, Operand x, Operand y,
+        const std::function<void()> &thenFn,
+        const std::function<void()> &elseFn)
+{
+    const BlockId thenB = b.makeBlock();
+    const BlockId elseB = b.makeBlock();
+    const BlockId join = b.makeBlock();
+    b.br(c, x, y, thenB);
+    b.fallTo(elseB);
+    b.at(elseB);
+    if (elseFn)
+        elseFn();
+    b.jump(join);
+    b.at(thenB);
+    if (thenFn)
+        thenFn();
+    b.fallTo(join);
+    b.at(join);
+}
+
+void
+ifThen(IRBuilder &b, CmpCond c, Operand x, Operand y,
+       const std::function<void()> &thenFn)
+{
+    const BlockId thenB = b.makeBlock();
+    const BlockId join = b.makeBlock();
+    b.br(negateCond(c), x, y, join);
+    b.fallTo(thenB);
+    b.at(thenB);
+    if (thenFn)
+        thenFn();
+    b.fallTo(join);
+    b.at(join);
+}
+
+void
+padOps(IRBuilder &b, int count, const std::vector<RegId> &accs)
+{
+    // Mixed op kinds so the padding exercises several unit classes
+    // without creating long serial chains.
+    for (int i = 0; i < count; ++i) {
+        const RegId acc = accs[i % accs.size()];
+        switch (i % 4) {
+          case 0:
+            b.addTo(acc, Operand::reg(acc), Operand::imm(i + 1));
+            break;
+          case 1:
+            b.binTo(Opcode::XOR, acc, Operand::reg(acc),
+                    Operand::imm(0x5a5a + i));
+            break;
+          case 2:
+            b.binTo(Opcode::MAX, acc, Operand::reg(acc),
+                    Operand::imm(-1000 + i));
+            break;
+          default:
+            b.binTo(Opcode::AND, acc, Operand::reg(acc),
+                    Operand::imm(0x0fffffff));
+            break;
+        }
+    }
+}
+
+} // namespace workloads
+} // namespace lbp

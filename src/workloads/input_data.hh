@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic synthetic input generation and IR-building helpers
+ * shared by the Table-1 workloads. The paper's benchmarks consume
+ * speech frames, images, video, and plaintext; we synthesize
+ * deterministic equivalents (sine-plus-noise PCM, textured blocks,
+ * pseudo-random plaintext) so every workload is reproducible and
+ * checksummable.
+ */
+
+#ifndef LBP_WORKLOADS_INPUT_DATA_HH
+#define LBP_WORKLOADS_INPUT_DATA_HH
+
+#include <functional>
+
+#include "ir/builder.hh"
+
+namespace lbp
+{
+namespace workloads
+{
+
+/** Fill [base, base+2n) with 16-bit PCM (sine + noise). */
+void fillPcm16(Program &prog, std::int64_t base, int n,
+               std::uint64_t seed);
+
+/** Fill [base, base+n) with pseudo-random bytes. */
+void fillBytes(Program &prog, std::int64_t base, int n,
+               std::uint64_t seed);
+
+/** Fill n 32-bit words with values in [lo, hi]. */
+void fillWords(Program &prog, std::int64_t base, int n,
+               std::int64_t lo, std::int64_t hi, std::uint64_t seed);
+
+/** Store n 32-bit constants from a table. */
+void storeTable32(Program &prog, std::int64_t base, const int *table,
+                  int n);
+
+/**
+ * Emit an if/else diamond at the current insertion point:
+ *   if (x cond y) thenFn() else elseFn();
+ * leaves the builder at the join block.
+ */
+void diamond(IRBuilder &b, CmpCond c, Operand x, Operand y,
+             const std::function<void()> &thenFn,
+             const std::function<void()> &elseFn);
+
+/** Emit an if-then hammock (no else). */
+void ifThen(IRBuilder &b, CmpCond c, Operand x, Operand y,
+            const std::function<void()> &thenFn);
+
+/**
+ * Emit @p count filler ALU ops that survive optimization: they
+ * accumulate into the registers of @p accs round-robin (so the
+ * dependence chains stay short) and must be consumed afterwards.
+ * Used to hit the paper's published per-loop operation counts in the
+ * Post_Filter replica.
+ */
+void padOps(IRBuilder &b, int count, const std::vector<RegId> &accs);
+
+} // namespace workloads
+} // namespace lbp
+
+#endif // LBP_WORKLOADS_INPUT_DATA_HH

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * MPEG-2 video codec pair.
+ *
+ * The decoder contains Add_Block(), the paper's Figure-2 walkthrough:
+ * a doubly-nested 8x8 loop (inner trip 8, tiny outer remainder) that
+ * predicated loop collapsing turns into a single 64-iteration
+ * hardware loop, plus clipping via a lookup table.
+ *
+ * The encoder models the paper's worst case: motion estimation as a
+ * deeply nested search (macroblock -> search window y -> search
+ * window x -> row SAD) whose middle levels carry too much code to be
+ * collapsed and too many iterations to be peeled, leaving most of
+ * the fetch stream outside the buffer even after transformation.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "workloads/input_data.hh"
+
+namespace lbp
+{
+namespace workloads
+{
+
+namespace
+{
+
+constexpr int kBlocks = 20;   // 8x8 blocks in the decoder
+constexpr int kFrameW = 48;   // encoder frame width
+constexpr int kFrameH = 32;   // encoder frame height
+constexpr int kSearch = 4;    // +/- search range
+
+struct MpegMem
+{
+    std::int64_t clipTab;   // 1024-entry clip table, bias 512
+    std::int64_t blocks;    // 32-bit coefficient blocks
+    std::int64_t frame;     // 16-bit reference frame
+    std::int64_t frame2;    // 16-bit current frame
+    std::int64_t recon;     // 16-bit output
+    std::int64_t mvOut;     // 32-bit motion vectors
+};
+
+MpegMem
+layoutMpeg(Program &prog)
+{
+    MpegMem m;
+    m.clipTab = prog.allocData(1024);
+    m.blocks = prog.allocData(kBlocks * 64 * 4);
+    m.frame = prog.allocData(kFrameW * kFrameH * 2);
+    m.frame2 = prog.allocData(kFrameW * kFrameH * 2);
+    m.recon = prog.allocData(kBlocks * 64 * 2 + kFrameW * 2);
+    m.mvOut = prog.allocData(1024 * 4);
+    // Clip[x+512] = clamp(x, 0, 255).
+    for (int x = -512; x < 512; ++x) {
+        const int v = x < 0 ? 0 : x > 255 ? 255 : x;
+        prog.poke8(m.clipTab + x + 512, static_cast<std::uint8_t>(v));
+    }
+    fillWords(prog, m.blocks, kBlocks * 64, -300, 300, 0xa11ce);
+    fillPcm16(prog, m.frame, kFrameW * kFrameH, 0xf00d1);
+    fillPcm16(prog, m.frame2, kFrameW * kFrameH, 0xf00d2);
+    return m;
+}
+
+/**
+ * Add_Block() — the Figure-2 code: for each of 8 rows, add 8
+ * prediction/coefficient pairs through the clip table, then bump the
+ * row pointer by the frame pitch. The inner loop has trip 8 and the
+ * outer remainder is 2 ops: the canonical collapse into a 64-trip
+ * simple loop.
+ */
+FuncId
+buildAddBlock(Program &prog, const MpegMem &m)
+{
+    const FuncId f = prog.newFunction("add_block");
+    Function &fn = prog.functions[f];
+    const RegId coefBase = fn.newReg(); // word index of block
+    const RegId outBase = fn.newReg();  // halfword index
+    fn.params = {coefBase, outBase};
+    fn.numReturns = 1;
+
+    IRBuilder b(prog, f);
+    auto R = [](RegId r) { return Operand::reg(r); };
+    auto I = [](std::int64_t v) { return Operand::imm(v); };
+
+    const RegId clipP = b.iconst(m.clipTab + 512);
+    const RegId blkP = b.iconst(m.blocks);
+    const RegId recP = b.iconst(m.recon);
+    const RegId bp = b.mov(R(coefBase));   // *bp++ walking pointer
+    const RegId rfp = b.mov(R(outBase));   // *rfp walking pointer
+    const RegId acc = b.iconst(0);
+
+    b.forLoop(0, 8, 1, [&](RegId i) {
+        (void)i;
+        b.forLoop(0, 8, 1, [&](RegId j) {
+            (void)j;
+            const RegId b4 = b.shl(R(bp), I(2));
+            const RegId v = b.loadW(R(blkP), R(b4));
+            const RegId idx = b.add(R(v), I(128));
+            const RegId idxc = b.max(R(idx), I(-512));
+            const RegId idxc2 = b.min(R(idxc), I(511));
+            const RegId cv = b.loadB(R(clipP), R(idxc2));
+            const RegId r2 = b.shl(R(rfp), I(1));
+            b.storeH(R(recP), R(r2), R(cv));
+            b.binTo(Opcode::SATADD, acc, R(acc), R(cv));
+            b.addTo(bp, R(bp), I(1));
+            b.addTo(rfp, R(rfp), I(1));
+        });
+        // Outer remainder: rfp += incr (row pitch adjustment).
+        b.addTo(rfp, R(rfp), I(8));
+    });
+    b.ret({R(acc)});
+    return f;
+}
+
+/** Saturating IDCT-ish pass over one block (simple trip-64 loop). */
+FuncId
+buildDecIdct(Program &prog, const MpegMem &m)
+{
+    const FuncId f = prog.newFunction("dec_idct");
+    Function &fn = prog.functions[f];
+    const RegId base = fn.newReg();
+    fn.params = {base};
+    fn.numReturns = 1;
+
+    IRBuilder b(prog, f);
+    auto R = [](RegId r) { return Operand::reg(r); };
+    auto I = [](std::int64_t v) { return Operand::imm(v); };
+    const RegId blkP = b.iconst(m.blocks);
+    const RegId acc = b.iconst(0);
+
+    b.forLoop(0, 64, 1, [&](RegId i) {
+        const RegId idx = b.add(R(base), R(i));
+        const RegId i4 = b.shl(R(idx), I(2));
+        const RegId v = b.loadW(R(blkP), R(i4));
+        const RegId w = b.mul(R(v), I(181));
+        const RegId ws = b.shra(R(w), I(8));
+        const RegId c1 = b.max(R(ws), I(-2048));
+        const RegId c2 = b.min(R(c1), I(2047));
+        b.storeW(R(blkP), R(i4), R(c2));
+        b.binTo(Opcode::SATADD, acc, R(acc), R(c2));
+    });
+    b.ret({R(acc)});
+    return f;
+}
+
+/** Half-pel motion compensation with rounding diamond. */
+FuncId
+buildMotionComp(Program &prog, const MpegMem &m)
+{
+    const FuncId f = prog.newFunction("motion_comp");
+    Function &fn = prog.functions[f];
+    const RegId srcBase = fn.newReg();
+    fn.params = {srcBase};
+    fn.numReturns = 1;
+
+    IRBuilder b(prog, f);
+    auto R = [](RegId r) { return Operand::reg(r); };
+    auto I = [](std::int64_t v) { return Operand::imm(v); };
+    const RegId frmP = b.iconst(m.frame);
+    const RegId frm2P = b.iconst(m.frame2);
+    const RegId acc = b.iconst(0);
+
+    b.forLoop(0, 128, 1, [&](RegId i) {
+        const RegId idx = b.add(R(srcBase), R(i));
+        const RegId i2 = b.shl(R(idx), I(1));
+        const RegId a = b.loadH(R(frmP), R(i2));
+        const RegId c = b.loadH(R(frm2P), R(i2));
+        const RegId s = b.add(R(a), R(c));
+        const RegId avg = b.shra(R(s), I(1));
+        const RegId lsb = b.and_(R(s), I(1));
+        const RegId rounded = b.mov(R(avg));
+        ifThen(b, CmpCond::NE, R(lsb), I(0), [&] {
+            b.addTo(rounded, R(rounded), I(1));
+        });
+        b.storeH(R(frm2P), R(i2), R(rounded));
+        b.binTo(Opcode::SATADD, acc, R(acc), R(rounded));
+    });
+    b.ret({R(acc)});
+    return f;
+}
+
+/**
+ * Motion estimation for the encoder: a four-deep nest with
+ * substantial code at every level. The y/x search levels carry
+ * enough setup code that collapsing is rejected, and their trip
+ * counts (2*kSearch+1 = 9) exceed the peeling limit, so the nest
+ * stays branchy — mpeg2enc's published behaviour.
+ */
+FuncId
+buildMotionEst(Program &prog, const MpegMem &m)
+{
+    const FuncId f = prog.newFunction("motion_est");
+    Function &fn = prog.functions[f];
+    fn.numReturns = 1;
+
+    IRBuilder b(prog, f);
+    auto R = [](RegId r) { return Operand::reg(r); };
+    auto I = [](std::int64_t v) { return Operand::imm(v); };
+    const RegId frmP = b.iconst(m.frame);
+    const RegId frm2P = b.iconst(m.frame2);
+    const RegId mvP = b.iconst(m.mvOut);
+    const RegId total = b.iconst(0);
+
+    constexpr int kMb = 6; // macroblocks searched
+
+    b.forLoop(0, kMb, 1, [&](RegId mb) {
+        // Macroblock setup (real address arithmetic).
+        const RegId mbx = b.rem(R(mb), I(2));
+        const RegId mby = b.div(R(mb), I(2));
+        const RegId ox = b.mul(R(mbx), I(16));
+        const RegId oy = b.mul(R(mby), I(8));
+        const RegId best = b.iconst(1 << 28);
+        const RegId bestMv = b.iconst(0);
+        const RegId curBase = b.mul(R(oy), I(kFrameW));
+
+        // Search window: 3x3 candidates, each with substantial
+        // per-candidate setup (the fat, unbufferable nest levels the
+        // paper describes) around a low-trip inner SAD loop.
+        b.forLoop(-1, 2, 1, [&](RegId dy) {
+            const RegId cy = b.add(R(oy), R(dy));
+            const RegId cy1 = b.max(R(cy), I(0));
+            const RegId cy2 = b.min(R(cy1), I(kFrameH - 9));
+            const RegId rowBase = b.mul(R(cy2), I(kFrameW));
+            // Interpolation-style row preconditioning (level code).
+            const RegId rAvg = b.iconst(0);
+            const RegId e0 = b.loadH(R(frmP), R(b.shl(R(rowBase),
+                                                      I(1))));
+            const RegId e1 = b.loadH(R(frm2P), R(b.shl(R(curBase),
+                                                       I(1))));
+            b.addTo(rAvg, R(e0), R(e1));
+            b.binTo(Opcode::SHRA, rAvg, R(rAvg), I(1));
+
+            b.forLoop(-1, 2, 1, [&](RegId dx) {
+                const RegId cx = b.add(R(ox), R(dx));
+                const RegId cx1 = b.max(R(cx), I(0));
+                const RegId cx2 = b.min(R(cx1), I(kFrameW - 17));
+                const RegId sad = b.iconst(0);
+                const RegId sad2 = b.iconst(0);
+                const RegId pen = b.abs(R(dx));
+                const RegId peny = b.abs(R(dy));
+                const RegId lam = b.add(R(b.mul(R(pen), I(3))),
+                                        R(b.mul(R(peny), I(3))));
+
+                // Half-pel interpolation of the candidate row:
+                // straight-line per-pixel code at the (unbufferable)
+                // search level — the bulk of mpeg2enc's fetch stream.
+                const RegId interp = b.iconst(0);
+                for (int px = 0; px < 16; ++px) {
+                    const RegId si0 = b.add(R(b.add(R(rowBase),
+                                                    R(cx2))),
+                                            I(px));
+                    const RegId s0 = b.shl(R(si0), I(1));
+                    const RegId v0 = b.loadH(R(frmP), R(s0));
+                    const RegId s1 = b.add(R(s0), I(2));
+                    const RegId v1 = b.loadH(R(frmP), R(s1));
+                    const RegId sum = b.add(R(v0), R(v1));
+                    const RegId hp = b.shra(R(b.add(R(sum), I(1))),
+                                            I(1));
+                    b.binTo(Opcode::SATADD, interp, R(interp), R(hp));
+                }
+                b.binTo(Opcode::XOR, total, R(total), R(interp));
+
+                // Inner SAD: only four iterations, each consuming
+                // four pixels with clamp diamonds — a large body
+                // with a low trip count.
+                b.forLoop(0, 4, 1, [&](RegId q) {
+                    const RegId k0 = b.shl(R(q), I(2));
+                    for (int u = 0; u < 4; ++u) {
+                        const RegId k = b.add(R(k0), I(u));
+                        const RegId si =
+                            b.add(R(b.add(R(rowBase), R(cx2))), R(k));
+                        const RegId s2 = b.shl(R(si), I(1));
+                        const RegId rv = b.loadH(R(frmP), R(s2));
+                        const RegId ci =
+                            b.add(R(b.add(R(curBase), R(ox))), R(k));
+                        const RegId c2 = b.shl(R(ci), I(1));
+                        const RegId cv = b.loadH(R(frm2P), R(c2));
+                        const RegId d = b.sub(R(rv), R(cv));
+                        // Conditional weighting: a fat diamond whose
+                        // rare arm inflates the fetched-but-nullified
+                        // stream after if-conversion.
+                        diamond(b, CmpCond::GT, R(d), I(12000),
+                                [&] {
+                                    const RegId w1 =
+                                        b.mul(R(d), I(3));
+                                    const RegId w2 =
+                                        b.shra(R(w1), I(2));
+                                    const RegId w3 =
+                                        b.add(R(w2), I(97));
+                                    const RegId w4 =
+                                        b.min(R(w3), I(20000));
+                                    b.binTo(Opcode::SATADD, sad2,
+                                            R(sad2), R(w4));
+                                },
+                                [&] {
+                                    const RegId ad = b.abs(R(d));
+                                    b.addTo(sad, R(sad), R(ad));
+                                });
+                    }
+                });
+                b.addTo(sad, R(sad), R(sad2));
+                b.addTo(sad, R(sad), R(lam));
+                // Best-candidate bookkeeping (level code).
+                ifThen(b, CmpCond::LT, R(sad), R(best), [&] {
+                    b.movTo(best, R(sad));
+                    const RegId enc = b.add(R(b.mul(R(dy), I(64))),
+                                            R(dx));
+                    b.movTo(bestMv, R(enc));
+                });
+                const RegId dbg = b.xor_(R(sad), R(bestMv));
+                b.binTo(Opcode::XOR, total, R(total), R(dbg));
+            });
+        });
+        const RegId mb4 = b.shl(R(mb), I(2));
+        b.storeW(R(mvP), R(mb4), R(bestMv));
+        b.binTo(Opcode::SATADD, total, R(total), R(best));
+    });
+    b.ret({R(total)});
+    return f;
+}
+
+Program
+buildMpeg2(bool encode)
+{
+    Program prog;
+    prog.name = encode ? "mpeg2_enc" : "mpeg2_dec";
+    MpegMem m = layoutMpeg(prog);
+
+    const FuncId mainF = prog.newFunction("main");
+    prog.entryFunc = mainF;
+
+    if (encode) {
+        const FuncId me = buildMotionEst(prog, m);
+        const FuncId idct = buildDecIdct(prog, m);
+        IRBuilder b(prog, mainF);
+        auto R = [](RegId r) { return Operand::reg(r); };
+        auto I = [](std::int64_t v) { return Operand::imm(v); };
+        const RegId acc = b.iconst(0);
+        b.forLoop(0, 3, 1, [&](RegId pic) {
+            auto r1 = b.call(me, {}, 1);
+            const RegId base = b.mul(R(b.and_(R(pic), I(7))), I(64));
+            auto r2 = b.call(idct, {R(base)}, 1);
+            b.binTo(Opcode::XOR, acc, R(acc), R(r1[0]));
+            b.binTo(Opcode::SATADD, acc, R(acc), R(r2[0]));
+        });
+        const RegId mvP = b.iconst(m.mvOut);
+        b.storeW(R(mvP), I(1020), R(acc));
+        b.ret({R(acc)});
+        prog.checksumBase = m.mvOut;
+        prog.checksumSize = 1024 * 4;
+    } else {
+        const FuncId addb = buildAddBlock(prog, m);
+        const FuncId idct = buildDecIdct(prog, m);
+        const FuncId mc = buildMotionComp(prog, m);
+        IRBuilder b(prog, mainF);
+        auto R = [](RegId r) { return Operand::reg(r); };
+        auto I = [](std::int64_t v) { return Operand::imm(v); };
+        const RegId acc = b.iconst(0);
+        b.forLoop(0, kBlocks, 1, [&](RegId blk) {
+            const RegId base = b.shl(R(blk), I(6));
+            auto r1 = b.call(idct, {R(base)}, 1);
+            auto r2 = b.call(addb, {R(base), R(base)}, 1);
+            const RegId mbase = b.mul(R(b.and_(R(blk), I(3))), I(128));
+            auto r3 = b.call(mc, {R(mbase)}, 1);
+            b.binTo(Opcode::XOR, acc, R(acc), R(r1[0]));
+            b.binTo(Opcode::SATADD, acc, R(acc), R(r2[0]));
+            b.binTo(Opcode::XOR, acc, R(acc), R(r3[0]));
+        });
+        b.ret({R(acc)});
+        prog.checksumBase = m.recon;
+        prog.checksumSize = kBlocks * 64 * 2;
+    }
+    return prog;
+}
+
+} // namespace
+
+Program
+buildMpeg2Enc()
+{
+    return buildMpeg2(true);
+}
+
+Program
+buildMpeg2Dec()
+{
+    return buildMpeg2(false);
+}
+
+} // namespace workloads
+} // namespace lbp

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * MPEG audio (Layer-3 style) decoder model. The paper reports that
+ * mpg123 only buffers well at very large (2048-op) buffer sizes, for
+ * two structural reasons reproduced here:
+ *
+ *  1. execution time concentrates in *many distinct small-trip
+ *     loops* (per-subband synthesis windows) that would all need to
+ *     stay resident simultaneously;
+ *  2. its hottest loops modulo-schedule to low IIs with long value
+ *     lifetimes (load -> multiply -> accumulate chains), so modulo
+ *     variable expansion multiplies their buffer images.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "workloads/input_data.hh"
+
+namespace lbp
+{
+namespace workloads
+{
+
+namespace
+{
+
+constexpr int kBands = 20;     // synthesis subbands modeled
+constexpr int kWin = 12;       // window taps per subband
+constexpr int kGran = 24;      // granules decoded
+
+struct Mp3Mem
+{
+    std::int64_t window;   // 32-bit window coefficients
+    std::int64_t samples;  // 16-bit subband samples
+    std::int64_t pcm;      // 16-bit output
+    std::int64_t imdct;    // 32-bit workspace
+};
+
+Mp3Mem
+layoutMp3(Program &prog)
+{
+    Mp3Mem m;
+    m.window = prog.allocData(kBands * kWin * 4);
+    m.samples = prog.allocData(kBands * kWin * 2 * 2);
+    m.pcm = prog.allocData(4096 * 2);
+    m.imdct = prog.allocData(1024 * 4);
+    fillWords(prog, m.window, kBands * kWin, -2048, 2048, 0x3141);
+    fillPcm16(prog, m.samples, kBands * kWin * 2, 0x59265);
+    return m;
+}
+
+/**
+ * One subband synthesis window: a dot product whose loads and
+ * multiplies chain into long lifetimes. Each subband gets its *own
+ * function* (distinct static loop), modeling mpg123's many discrete
+ * kernels that compete for buffer residency.
+ */
+FuncId
+buildSubbandWindow(Program &prog, const Mp3Mem &m, int band)
+{
+    const FuncId f =
+        prog.newFunction("synth_win_" + std::to_string(band));
+    Function &fn = prog.functions[f];
+    const RegId phase = fn.newReg();
+    fn.params = {phase};
+    fn.numReturns = 1;
+
+    IRBuilder b(prog, f);
+    auto R = [](RegId r) { return Operand::reg(r); };
+    auto I = [](std::int64_t v) { return Operand::imm(v); };
+
+    const RegId winP = b.iconst(m.window + band * kWin * 4);
+    const RegId smpP = b.iconst(m.samples + band * kWin * 2);
+    // Four independent accumulators: the schedule pipelines to a
+    // small II, and the load(3) -> mul(2) -> add chains give values
+    // lifetimes of several IIs => a large MVE factor.
+    const RegId a0 = b.iconst(0);
+    const RegId a1 = b.iconst(0);
+    const RegId a2 = b.iconst(0);
+    const RegId a3 = b.iconst(0);
+
+    b.forLoop(0, kWin / 4, 1, [&](RegId i) {
+        const RegId i4 = b.shl(R(i), I(2)); // 4 taps per iteration
+        for (int u = 0; u < 4; ++u) {
+            const RegId tap = b.add(R(i4), I(u));
+            const RegId t4 = b.shl(R(tap), I(2));
+            const RegId w = b.loadW(R(winP), R(t4));
+            const RegId sidx = b.add(R(tap), R(phase));
+            const RegId s2 = b.shl(R(b.and_(R(sidx), I(kWin - 1))),
+                                   I(1));
+            const RegId s = b.loadH(R(smpP), R(s2));
+            const RegId p = b.mul(R(w), R(s));
+            const RegId ps = b.shra(R(p), I(10));
+            const RegId sc = b.mul(R(ps), I(31 + band));
+            const RegId sc2 = b.shra(R(sc), I(5));
+            const RegId cl2 = b.mov(R(sc2));
+            if (band % 2 == 1) {
+                // Odd bands clamp through a hammock: without
+                // if-conversion these windows cannot be buffered.
+                diamond(b, CmpCond::GT, R(sc2), I(32767),
+                        [&] { b.movTo(cl2, I(32767)); },
+                        [&] {
+                            ifThen(b, CmpCond::LT, R(sc2), I(-32768),
+                                   [&] { b.movTo(cl2, I(-32768)); });
+                        });
+            } else {
+                b.binTo(Opcode::MAX, cl2, R(cl2), I(-32768));
+                b.binTo(Opcode::MIN, cl2, R(cl2), I(32767));
+            }
+            const RegId acc = u == 0 ? a0 : u == 1 ? a1
+                              : u == 2 ? a2 : a3;
+            b.binTo(Opcode::SATADD, acc, R(acc), R(cl2));
+        }
+    });
+    const RegId s01 = b.satadd(R(a0), R(a1));
+    const RegId s23 = b.satadd(R(a2), R(a3));
+    const RegId sum = b.satadd(R(s01), R(s23));
+    b.ret({R(sum)});
+    return f;
+}
+
+/** IMDCT-like butterfly stage (another small hot loop). */
+FuncId
+buildImdct(Program &prog, const Mp3Mem &m)
+{
+    const FuncId f = prog.newFunction("imdct36");
+    Function &fn = prog.functions[f];
+    const RegId base = fn.newReg();
+    fn.params = {base};
+    fn.numReturns = 1;
+
+    IRBuilder b(prog, f);
+    auto R = [](RegId r) { return Operand::reg(r); };
+    auto I = [](std::int64_t v) { return Operand::imm(v); };
+    const RegId wkP = b.iconst(m.imdct);
+    const RegId smpP = b.iconst(m.samples);
+    const RegId acc = b.iconst(0);
+
+    b.forLoop(0, 36, 1, [&](RegId i) {
+        const RegId idx = b.add(R(base), R(i));
+        const RegId i2 = b.shl(R(b.and_(R(idx), I(511))), I(1));
+        const RegId x = b.loadH(R(smpP), R(i2));
+        const RegId tw = b.add(R(b.mul(R(i), I(37))), I(11));
+        const RegId twc = b.sub(R(b.and_(R(tw), I(127))), I(64));
+        const RegId p = b.mul(R(x), R(twc));
+        const RegId ps = b.shra(R(p), I(6));
+        const RegId i4 = b.shl(R(b.and_(R(idx), I(1023 >> 2))), I(2));
+        b.storeW(R(wkP), R(i4), R(ps));
+        b.binTo(Opcode::SATADD, acc, R(acc), R(ps));
+    });
+    b.ret({R(acc)});
+    return f;
+}
+
+} // namespace
+
+Program
+buildMpg123()
+{
+    Program prog;
+    prog.name = "mpg123";
+    Mp3Mem m = layoutMp3(prog);
+
+    std::vector<FuncId> windows;
+    for (int band = 0; band < kBands; ++band)
+        windows.push_back(buildSubbandWindow(prog, m, band));
+    const FuncId imdct = buildImdct(prog, m);
+
+    const FuncId mainF = prog.newFunction("main");
+    prog.entryFunc = mainF;
+    IRBuilder b(prog, mainF);
+    auto R = [](RegId r) { return Operand::reg(r); };
+    auto I = [](std::int64_t v) { return Operand::imm(v); };
+
+    const RegId pcmP = b.iconst(m.pcm);
+    const RegId wpos = b.iconst(0);
+    const RegId acc = b.iconst(0);
+
+    b.forLoop(0, kGran, 1, [&](RegId g) {
+        const RegId phase = b.mul(R(b.and_(R(g), I(7))), I(9));
+        // Every subband window runs once per granule: all kBands
+        // distinct loops are hot at once.
+        for (int band = 0; band < kBands; ++band) {
+            auto r = b.call(windows[band], {R(phase)}, 1);
+            b.binTo(Opcode::SATADD, acc, R(acc), R(r[0]));
+            const RegId w2 = b.shl(R(wpos), I(1));
+            b.storeH(R(pcmP), R(w2), R(acc));
+            b.addTo(wpos, R(wpos), I(1));
+        }
+        const RegId base = b.mul(R(b.and_(R(g), I(15))), I(36));
+        auto r2 = b.call(imdct, {R(base)}, 1);
+        b.binTo(Opcode::XOR, acc, R(acc), R(r2[0]));
+    });
+    b.ret({R(acc)});
+
+    prog.checksumBase = m.pcm;
+    prog.checksumSize = 4096 * 2;
+    return prog;
+}
+
+} // namespace workloads
+} // namespace lbp

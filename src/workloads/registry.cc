@@ -1,0 +1,60 @@
+#include "workloads/registry.hh"
+
+#include "support/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace lbp
+{
+namespace workloads
+{
+
+std::vector<WorkloadInfo>
+allWorkloads()
+{
+    return {
+        {"adpcm_enc", "IMA ADPCM speech encoder"},
+        {"adpcm_dec", "IMA ADPCM speech decoder"},
+        {"g724_enc", "GSM-EFR-style speech encoder"},
+        {"g724_dec", "GSM-EFR-style speech decoder (Post_Filter)"},
+        {"jpeg_enc", "JPEG-style photo encoder"},
+        {"jpeg_dec", "JPEG-style photo decoder"},
+        {"mpeg2_enc", "MPEG-2-style video encoder (motion search)"},
+        {"mpeg2_dec", "MPEG-2-style video decoder (Add_Block)"},
+        {"mpg123", "MPEG audio Layer-3-style decoder"},
+        {"pgp_enc", "PGP-style block-cipher encoder"},
+        {"pgp_dec", "PGP-style block-cipher decoder"},
+    };
+}
+
+Program
+buildWorkload(const std::string &name)
+{
+    if (name == "adpcm_enc")
+        return buildAdpcmEnc();
+    if (name == "adpcm_dec")
+        return buildAdpcmDec();
+    if (name == "g724_enc")
+        return buildG724Enc();
+    if (name == "g724_dec")
+        return buildG724Dec();
+    if (name == "jpeg_enc")
+        return buildJpegEnc();
+    if (name == "jpeg_dec")
+        return buildJpegDec();
+    if (name == "mpeg2_enc")
+        return buildMpeg2Enc();
+    if (name == "mpeg2_dec")
+        return buildMpeg2Dec();
+    if (name == "mpg123")
+        return buildMpg123();
+    if (name == "pgp_enc")
+        return buildPgpEnc();
+    if (name == "pgp_dec")
+        return buildPgpDec();
+    if (name == "post_filter_only")
+        return buildPostFilterOnly();
+    LBP_FATAL("unknown workload '", name, "'");
+}
+
+} // namespace workloads
+} // namespace lbp

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The Table-1 benchmark set, written directly in the lbp IR. Each
+ * builder returns a self-contained Program: entry function, worker
+ * functions, initialized data memory, and a designated checksum
+ * region. The loop structures (nesting depth, trip counts, body
+ * sizes, internal control flow) are shaped to reproduce the per-
+ * benchmark buffering behaviour the paper reports.
+ */
+
+#ifndef LBP_WORKLOADS_WORKLOADS_HH
+#define LBP_WORKLOADS_WORKLOADS_HH
+
+#include "ir/program.hh"
+
+namespace lbp
+{
+namespace workloads
+{
+
+Program buildAdpcmEnc();
+Program buildAdpcmDec();
+Program buildG724Enc();
+Program buildG724Dec();
+Program buildJpegEnc();
+Program buildJpegDec();
+Program buildMpeg2Enc();
+Program buildMpeg2Dec();
+Program buildMpg123();
+Program buildPgpEnc();
+Program buildPgpDec();
+
+/**
+ * Standalone replica of g724dec's Post_Filter() for the Figure-5
+ * buffer-trace experiment: one invocation, four outer iterations.
+ */
+Program buildPostFilterOnly();
+
+} // namespace workloads
+} // namespace lbp
+
+#endif // LBP_WORKLOADS_WORKLOADS_HH

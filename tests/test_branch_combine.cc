@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Branch-combining tests: summary predicate construction, decode
+ * block dispatch, eligibility constraints (stores / live registers
+ * between exit and block end), and semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "ir/interpreter.hh"
+#include "ir/verifier.hh"
+#include "transform/branch_combine.hh"
+#include "transform/if_convert.hh"
+#include "workloads/input_data.hh"
+
+namespace lbp
+{
+namespace
+{
+
+auto R = [](RegId r) { return Operand::reg(r); };
+auto I = [](std::int64_t v) { return Operand::imm(v); };
+
+/**
+ * A loop with two rare conditional breaks to distinct targets; after
+ * if-conversion they become two predicated side exits, the branch
+ * combiner's input shape.
+ */
+Program
+twoExitLoop(std::int64_t breakA, std::int64_t breakB)
+{
+    Program prog;
+    const auto data = prog.allocData(600 * 4);
+    for (int i = 0; i < 600; ++i)
+        prog.poke32(data + 4 * i, i);
+    const FuncId f = prog.newFunction("main");
+    prog.entryFunc = f;
+    IRBuilder b(prog, f);
+    const RegId dp = b.iconst(data);
+    const RegId acc = b.iconst(0);
+    const RegId i = b.iconst(0);
+    const BlockId head = b.makeBlock("head");
+    const BlockId exitA = b.makeBlock("exitA");
+    const BlockId exitB = b.makeBlock("exitB");
+    const BlockId done = b.makeBlock("done");
+    b.fallTo(head);
+    b.at(head);
+    {
+        const RegId i4 = b.shl(R(i), I(2));
+        const RegId v = b.loadW(R(dp), R(i4));
+        b.addTo(acc, R(acc), R(v));
+        b.br(CmpCond::GT, R(acc), I(breakA), exitA);
+        const BlockId c2 = b.makeBlock();
+        b.fallTo(c2);
+        b.at(c2);
+        b.br(CmpCond::EQ, R(v), I(breakB), exitB);
+        const BlockId c3 = b.makeBlock();
+        b.fallTo(c3);
+        b.at(c3);
+        b.addTo(i, R(i), I(1));
+        b.br(CmpCond::LT, R(i), I(500), head);
+        b.fallTo(done);
+    }
+    b.at(exitA);
+    b.addTo(acc, R(acc), I(1000000));
+    b.jump(done);
+    b.at(exitB);
+    b.addTo(acc, R(acc), I(2000000));
+    b.jump(done);
+    b.at(done);
+    b.ret({R(acc)});
+    return prog;
+}
+
+TEST(BranchCombine, CombinesTwoExits)
+{
+    Program prog = twoExitLoop(1 << 26, -1); // exits never taken
+    Interpreter pre(prog);
+    const auto before = pre.run();
+
+    auto ifc = ifConvertLoops(prog);
+    ASSERT_EQ(ifc.loopsConverted, 1);
+    ASSERT_EQ(ifc.sideExits, 2);
+    auto st = combineBranches(prog);
+    EXPECT_EQ(st.loopsCombined, 1);
+    EXPECT_EQ(st.exitsCombined, 2);
+    VerifyOptions vo;
+    vo.allowInternalBranches = true;
+    verifyOrDie(prog, vo);
+
+    Interpreter post(prog);
+    EXPECT_EQ(post.run().returns, before.returns);
+
+    // Exactly one guarded jump (the summary) remains in the loop.
+    int guardedJumps = 0;
+    for (const auto &bb : prog.functions[prog.entryFunc].blocks) {
+        if (bb.dead || !bb.isHyperblock)
+            continue;
+        for (const auto &op : bb.ops)
+            if (op.op == Opcode::JUMP && op.hasGuard())
+                ++guardedJumps;
+    }
+    EXPECT_EQ(guardedJumps, 1);
+}
+
+class BranchCombineExitTest
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(BranchCombineExitTest, TakenExitsDispatchCorrectly)
+{
+    // Sweep which exit actually fires; the decode block must route to
+    // the right target in every case.
+    const auto [a, bKey] = GetParam();
+    Program prog = twoExitLoop(a, bKey);
+    Interpreter pre(prog);
+    const auto before = pre.run();
+
+    ifConvertLoops(prog);
+    combineBranches(prog);
+    Interpreter post(prog);
+    EXPECT_EQ(post.run().returns, before.returns)
+        << "breakA=" << a << " breakB=" << bKey;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExitMatrix, BranchCombineExitTest,
+    ::testing::Values(std::make_pair(1 << 26, -1), // no exit
+                      std::make_pair(500, -1),     // exit A early
+                      std::make_pair(1 << 26, 37), // exit B
+                      std::make_pair(3000, 20)));  // both armed
+
+TEST(BranchCombine, SingleExitNotCombined)
+{
+    // Below the minExits threshold: nothing happens.
+    Program prog = twoExitLoop(1 << 26, -1);
+    ifConvertLoops(prog);
+    BranchCombineOptions opts;
+    opts.minExits = 3;
+    auto st = combineBranches(prog, opts);
+    EXPECT_EQ(st.loopsCombined, 0);
+}
+
+TEST(BranchCombine, StoreAfterExitBlocksCombining)
+{
+    // A store between the side exits and the block end makes the
+    // exits ineligible (the store would execute while an exit is
+    // pending).
+    Program prog;
+    const auto data = prog.allocData(600 * 4);
+    for (int i = 0; i < 600; ++i)
+        prog.poke32(data + 4 * i, i % 9);
+    prog.checksumBase = data;
+    prog.checksumSize = 600 * 4;
+    const FuncId f = prog.newFunction("main");
+    prog.entryFunc = f;
+    IRBuilder b(prog, f);
+    const RegId dp = b.iconst(data);
+    const RegId acc = b.iconst(0);
+    const RegId i = b.iconst(0);
+    const BlockId head = b.makeBlock("head");
+    const BlockId out = b.makeBlock("out");
+    const BlockId out2 = b.makeBlock("out2");
+    b.fallTo(head);
+    b.at(head);
+    const RegId i4 = b.shl(R(i), I(2));
+    const RegId v = b.loadW(R(dp), R(i4));
+    b.br(CmpCond::GT, R(v), I(7), out);
+    const BlockId c2 = b.makeBlock();
+    b.fallTo(c2);
+    b.at(c2);
+    b.br(CmpCond::EQ, R(v), I(5), out2);
+    const BlockId c3 = b.makeBlock();
+    b.fallTo(c3);
+    b.at(c3);
+    b.addTo(acc, R(acc), R(v));
+    b.storeW(R(dp), R(i4), R(acc)); // store AFTER the exits
+    b.addTo(i, R(i), I(1));
+    b.br(CmpCond::LT, R(i), I(400), head);
+    b.fallTo(out);
+    b.at(out);
+    b.ret({R(acc)});
+    b.at(out2);
+    b.ret({R(acc)});
+
+    Interpreter pre(prog);
+    const auto before = pre.run();
+    ifConvertLoops(prog);
+    auto st = combineBranches(prog);
+    EXPECT_EQ(st.loopsCombined, 0); // stores block it
+    Interpreter post(prog);
+    EXPECT_EQ(post.run().checksum, before.checksum);
+}
+
+} // namespace
+} // namespace lbp

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Pipeline-driver tests: stage checksums, config knobs, schedule
+ * validation of everything the pipeline emits, and re-allocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/compiler.hh"
+#include "core/metrics.hh"
+#include "ir/builder.hh"
+#include "sim/vliw_sim.hh"
+#include "workloads/input_data.hh"
+#include "workloads/registry.hh"
+
+namespace lbp
+{
+namespace
+{
+
+auto R = [](RegId r) { return Operand::reg(r); };
+auto I = [](std::int64_t v) { return Operand::imm(v); };
+
+Program
+smallProgram()
+{
+    Program prog;
+    const auto data = prog.allocData(256 * 4);
+    for (int i = 0; i < 256; ++i)
+        prog.poke32(data + 4 * i, (i * 31) % 23 - 11);
+    prog.checksumBase = data;
+    prog.checksumSize = 256 * 4;
+    const FuncId f = prog.newFunction("main");
+    prog.entryFunc = f;
+    IRBuilder b(prog, f);
+    const RegId dp = b.iconst(data);
+    const RegId acc = b.iconst(0);
+    b.forLoop(0, 64, 1, [&](RegId i) {
+        const RegId i4 = b.shl(R(i), I(2));
+        const RegId v = b.loadW(R(dp), R(i4));
+        workloads::diamond(b, CmpCond::LT, R(v), I(0),
+                           [&] { b.subTo(acc, R(acc), R(v)); },
+                           [&] { b.addTo(acc, R(acc), R(v)); });
+        b.storeW(R(dp), R(i4), R(acc));
+    });
+    b.ret({R(acc)});
+    return prog;
+}
+
+TEST(Compiler, GoldenChecksumPreserved)
+{
+    Program prog = smallProgram();
+    for (OptLevel lvl : {OptLevel::Traditional, OptLevel::Aggressive}) {
+        CompileOptions opts;
+        opts.level = lvl;
+        CompileResult cr;
+        compileProgram(prog, opts, cr);
+        EXPECT_EQ(cr.goldenChecksum, cr.transformedChecksum);
+        SimConfig sc;
+        VliwSim sim(cr.code, sc);
+        EXPECT_EQ(sim.run().checksum, cr.goldenChecksum);
+    }
+}
+
+TEST(Compiler, EverScheduledBlockValidates)
+{
+    Program prog = smallProgram();
+    CompileOptions opts;
+    opts.level = OptLevel::Aggressive;
+    opts.slotLowering = false; // validator matches pre-lowered ops
+    CompileResult cr;
+    compileProgram(prog, opts, cr);
+    for (const auto &fn : cr.ir.functions) {
+        for (const auto &bb : fn.blocks) {
+            if (bb.dead)
+                continue;
+            const SchedBlock &sb =
+                cr.code.functions[fn.id].blocks[bb.id];
+            ASSERT_TRUE(sb.valid);
+            const auto errs = validateSchedule(bb, sb, cr.machine);
+            EXPECT_TRUE(errs.empty())
+                << fn.name << "/" << bb.name << ": "
+                << (errs.empty() ? "" : errs.front());
+        }
+    }
+}
+
+TEST(Compiler, AggressiveConvertsTheLoop)
+{
+    Program prog = smallProgram();
+    CompileOptions tr;
+    tr.level = OptLevel::Traditional;
+    CompileResult a;
+    compileProgram(prog, tr, a);
+    CompileOptions ag;
+    ag.level = OptLevel::Aggressive;
+    CompileResult b2;
+    compileProgram(prog, ag, b2);
+    EXPECT_EQ(a.ifConvertStats.loopsConverted, 0);
+    EXPECT_EQ(b2.ifConvertStats.loopsConverted, 1);
+    EXPECT_GT(b2.moduloLoops, 0);
+}
+
+TEST(Compiler, ModuloDisableFallsBackToList)
+{
+    Program prog = smallProgram();
+    CompileOptions opts;
+    opts.moduloSchedule = false;
+    CompileResult cr;
+    compileProgram(prog, opts, cr);
+    for (const auto &sf : cr.code.functions)
+        for (const auto &sb : sf.blocks)
+            EXPECT_FALSE(sb.pipelined);
+    SimConfig sc;
+    VliwSim sim(cr.code, sc);
+    EXPECT_EQ(sim.run().checksum, cr.goldenChecksum);
+}
+
+TEST(Compiler, StageVerificationCatchesNothingOnCleanInput)
+{
+    // verifyStages on: compiles without throwing on all workloads is
+    // covered elsewhere; here just assert the flag path works.
+    Program prog = smallProgram();
+    CompileOptions opts;
+    opts.verifyStages = true;
+    CompileResult cr;
+    EXPECT_NO_THROW(compileProgram(prog, opts, cr));
+}
+
+TEST(Compiler, CodeSizeAccounting)
+{
+    Program prog = smallProgram();
+    CompileOptions opts;
+    CompileResult cr;
+    compileProgram(prog, opts, cr);
+    EXPECT_GT(cr.originalOps, 0);
+    EXPECT_GT(cr.finalOps, 0);
+    EXPECT_GE(cr.scheduledOps, cr.finalOps); // clones/empty cycles
+}
+
+} // namespace
+} // namespace lbp
+
+namespace lbp
+{
+namespace
+{
+
+TEST(Compiler, RegisterPressureNearMachineBudget)
+{
+    // The paper's machine has 64 integer registers and notes that
+    // ILP techniques "need many registers". Most workloads' loop
+    // bodies must fit outright; the largest hyperblocks (pgp's
+    // inlined cipher, mpeg2_enc's unrolled SAD) may exceed the file
+    // by a small margin a register allocator would cover with modest
+    // spilling — cap the overshoot.
+    int fitting = 0, total = 0;
+    for (const auto &w : workloads::allWorkloads()) {
+        Program prog = workloads::buildWorkload(w.name);
+        CompileOptions opts;
+        opts.level = OptLevel::Aggressive;
+        CompileResult cr;
+        compileProgram(prog, opts, cr);
+        const RegisterPressure rp = collectRegisterPressure(cr);
+        EXPECT_GT(rp.maxLoopPressure, 0) << w.name;
+        EXPECT_LE(rp.maxLoopPressure, rp.machineRegisters * 3 / 2)
+            << w.name << ": pressure " << rp.maxLoopPressure;
+        fitting += rp.fits();
+        ++total;
+    }
+    EXPECT_GE(fitting, total - 3);
+}
+
+} // namespace
+} // namespace lbp

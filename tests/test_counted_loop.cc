@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Counted-loop conversion tests: static-trip cloops, runtime-trip
+ * computation, while-loop fallback, and preheader safety.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "ir/interpreter.hh"
+#include "ir/verifier.hh"
+#include "transform/counted_loop.hh"
+
+namespace lbp
+{
+namespace
+{
+
+auto R = [](RegId r) { return Operand::reg(r); };
+auto I = [](std::int64_t v) { return Operand::imm(v); };
+
+TEST(CountedLoop, StaticTripConverted)
+{
+    Program prog;
+    const FuncId f = prog.newFunction("main");
+    prog.entryFunc = f;
+    IRBuilder b(prog, f);
+    const RegId acc = b.iconst(0);
+    b.forLoop(0, 13, 1, [&](RegId i) { b.addTo(acc, R(acc), R(i)); });
+    b.ret({R(acc)});
+    Interpreter pre(prog);
+    const auto before = pre.run();
+
+    auto st = convertCountedLoops(prog);
+    EXPECT_EQ(st.cloops, 1);
+    EXPECT_EQ(st.wloops, 0);
+    verifyOrDie(prog);
+
+    // A REC_CLOOP with an immediate trip of 13 exists.
+    bool sawRec = false, sawCloop = false;
+    for (const auto &bb : prog.functions[f].blocks) {
+        for (const auto &op : bb.ops) {
+            if (op.op == Opcode::REC_CLOOP) {
+                sawRec = true;
+                EXPECT_TRUE(op.srcs[0].isImm());
+                EXPECT_EQ(op.srcs[0].value, 13);
+            }
+            sawCloop |= op.op == Opcode::BR_CLOOP;
+        }
+    }
+    EXPECT_TRUE(sawRec);
+    EXPECT_TRUE(sawCloop);
+
+    Interpreter post(prog);
+    EXPECT_EQ(post.run().returns, before.returns);
+}
+
+class RuntimeTripTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RuntimeTripTest, RuntimeTripComputedCorrectly)
+{
+    // Trip count computed from a register bound at run time; the
+    // bottom-test contract means bound <= start still runs once.
+    const int bound = GetParam();
+    Program prog;
+    const auto data = prog.allocData(16);
+    prog.poke32(data, bound);
+    const FuncId f = prog.newFunction("main");
+    prog.entryFunc = f;
+    IRBuilder b(prog, f);
+    const RegId dp = b.iconst(data);
+    const RegId n = b.loadW(R(dp), I(0));
+    const RegId count = b.iconst(0);
+    b.forLoopReg(0, n, 1, [&](RegId) {
+        b.addTo(count, R(count), I(1));
+    });
+    b.ret({R(count)});
+
+    Interpreter pre(prog);
+    const auto before = pre.run();
+    auto st = convertCountedLoops(prog);
+    EXPECT_EQ(st.cloops, 1);
+    Interpreter post(prog);
+    EXPECT_EQ(post.run().returns, before.returns);
+    EXPECT_EQ(before.returns[0], std::max(bound, 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RuntimeTripTest,
+                         ::testing::Values(-3, 0, 1, 2, 7, 100));
+
+TEST(CountedLoop, DownwardLoop)
+{
+    Program prog;
+    const FuncId f = prog.newFunction("main");
+    prog.entryFunc = f;
+    IRBuilder b(prog, f);
+    const RegId acc = b.iconst(0);
+    b.forLoop(10, 0, -2, [&](RegId i) { b.addTo(acc, R(acc), R(i)); });
+    b.ret({R(acc)});
+    Interpreter pre(prog);
+    const auto before = pre.run();
+    auto st = convertCountedLoops(prog);
+    EXPECT_EQ(st.cloops, 1);
+    Interpreter post(prog);
+    EXPECT_EQ(post.run().returns, before.returns);
+    EXPECT_EQ(before.returns[0], 10 + 8 + 6 + 4 + 2);
+}
+
+TEST(CountedLoop, DataDependentExitBecomesWloop)
+{
+    // Collatz-style loop: no affine induction -> while-loop form.
+    Program prog;
+    const FuncId f = prog.newFunction("main");
+    prog.entryFunc = f;
+    IRBuilder b(prog, f);
+    const RegId x = b.iconst(97);
+    const RegId steps = b.iconst(0);
+    const BlockId head = b.makeBlock();
+    b.fallTo(head);
+    b.at(head);
+    const RegId half = b.shra(R(x), I(1));
+    b.movTo(x, R(half));
+    b.addTo(steps, R(steps), I(1));
+    b.br(CmpCond::GT, R(x), I(0), head);
+    const BlockId done = b.makeBlock();
+    b.fallTo(done);
+    b.at(done);
+    b.ret({R(steps)});
+
+    Interpreter pre(prog);
+    const auto before = pre.run();
+    auto st = convertCountedLoops(prog);
+    EXPECT_EQ(st.cloops, 0);
+    EXPECT_EQ(st.wloops, 1);
+    bool sawRecW = false;
+    for (const auto &bb : prog.functions[f].blocks)
+        for (const auto &op : bb.ops)
+            sawRecW |= op.op == Opcode::REC_WLOOP;
+    EXPECT_TRUE(sawRecW);
+    Interpreter post(prog);
+    EXPECT_EQ(post.run().returns, before.returns);
+}
+
+TEST(CountedLoop, ConditionalPreheaderRejected)
+{
+    // The preheader conditionally skips the loop; inserting a REC
+    // there would leak a hardware-loop context, so conversion must
+    // refuse.
+    Program prog;
+    const auto data = prog.allocData(8);
+    prog.poke32(data, 0);
+    const FuncId f = prog.newFunction("main");
+    prog.entryFunc = f;
+    IRBuilder b(prog, f);
+    const RegId dp = b.iconst(data);
+    const RegId flag = b.loadW(R(dp), I(0));
+    const RegId acc = b.iconst(0);
+    const BlockId skip = b.makeBlock("skip");
+    b.br(CmpCond::EQ, R(flag), I(0), skip);
+    // (fallthrough into the loop)
+    const BlockId pre = b.makeBlock("pre");
+    b.fallTo(pre);
+    b.at(pre);
+    b.forLoop(0, 5, 1, [&](RegId i) { b.addTo(acc, R(acc), R(i)); });
+    b.jump(skip);
+    b.at(skip);
+    b.ret({R(acc)});
+
+    Interpreter preI(prog);
+    const auto before = preI.run();
+    convertCountedLoops(prog);
+    Interpreter post(prog);
+    EXPECT_EQ(post.run().returns, before.returns);
+}
+
+TEST(CountedLoop, Idempotent)
+{
+    Program prog;
+    const FuncId f = prog.newFunction("main");
+    prog.entryFunc = f;
+    IRBuilder b(prog, f);
+    const RegId acc = b.iconst(0);
+    b.forLoop(0, 9, 1, [&](RegId i) { b.addTo(acc, R(acc), R(i)); });
+    b.ret({R(acc)});
+    auto st1 = convertCountedLoops(prog);
+    auto st2 = convertCountedLoops(prog);
+    EXPECT_EQ(st1.cloops, 1);
+    EXPECT_EQ(st2.cloops + st2.wloops, 0);
+}
+
+} // namespace
+} // namespace lbp

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the paper's future-work extensions implemented as
+ * optional features: architected rotating registers (§7.1 — no MVE
+ * image growth) and the per-slot predicate activation queue (§7.3 —
+ * longer standing-predicate live ranges before the register-file
+ * fallback).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/compiler.hh"
+#include "sim/vliw_sim.hh"
+#include "workloads/registry.hh"
+
+namespace lbp
+{
+namespace
+{
+
+TEST(RotatingRegisters, ShrinksBufferImages)
+{
+    // mpg123's windows have MVE factors > 1; with rotating registers
+    // every image is one kernel copy.
+    Program prog = workloads::buildWorkload("mpg123");
+    CompileOptions plain;
+    CompileResult a;
+    compileProgram(prog, plain, a);
+    CompileOptions rot;
+    rot.rotatingRegisters = true;
+    CompileResult b;
+    compileProgram(prog, rot, b);
+
+    int mveA = 0, imgA = 0, imgB = 0;
+    for (size_t f = 0; f < a.code.functions.size(); ++f) {
+        for (size_t blk = 0; blk < a.code.functions[f].blocks.size();
+             ++blk) {
+            const SchedBlock &sa = a.code.functions[f].blocks[blk];
+            const SchedBlock &sb = b.code.functions[f].blocks[blk];
+            if (!sa.valid || !sa.isLoopBody)
+                continue;
+            mveA = std::max(mveA, sa.mveFactor);
+            imgA += sa.imageOps();
+            if (sb.valid)
+                imgB += sb.imageOps();
+            if (sb.valid && sb.isLoopBody) {
+                EXPECT_EQ(sb.mveFactor, 1);
+            }
+        }
+    }
+    EXPECT_GT(mveA, 1) << "workload no longer exercises MVE";
+    EXPECT_LT(imgB, imgA);
+}
+
+TEST(RotatingRegisters, ImprovesMpg123BufferIssue)
+{
+    // The paper: "buffer performance could likely be further improved
+    // through use of architected rotating registers" (§7.1, mpg123).
+    Program prog = workloads::buildWorkload("mpg123");
+    CompileOptions plain;
+    CompileResult a;
+    compileProgram(prog, plain, a);
+    CompileOptions rot;
+    rot.rotatingRegisters = true;
+    CompileResult b;
+    compileProgram(prog, rot, b);
+
+    double fracA = 0, fracB = 0;
+    for (int size : {256, 1024}) {
+        reallocateBuffers(a, size);
+        reallocateBuffers(b, size);
+        SimConfig sc;
+        sc.bufferOps = size;
+        VliwSim sa(a.code, sc), sb(b.code, sc);
+        const auto ra = sa.run();
+        const auto rb = sb.run();
+        EXPECT_EQ(ra.checksum, a.goldenChecksum);
+        EXPECT_EQ(rb.checksum, b.goldenChecksum);
+        fracA += ra.bufferFraction();
+        fracB += rb.bufferFraction();
+    }
+    EXPECT_GT(fracB, fracA);
+}
+
+TEST(PredQueue, ReducesRegisterFallbacks)
+{
+    // Sum slot-lowering fallbacks across the benchmark set with and
+    // without the activation queue; the queue must strictly reduce
+    // range-too-long fallbacks and introduce queued predicates.
+    int longPlain = 0, longQueued = 0, queued = 0;
+    for (const auto &w : workloads::allWorkloads()) {
+        Program prog = workloads::buildWorkload(w.name);
+        CompileOptions plain;
+        CompileResult a;
+        compileProgram(prog, plain, a);
+        CompileOptions q;
+        q.predQueueDepth = 2;
+        CompileResult b;
+        compileProgram(prog, q, b);
+        longPlain += a.slotStats.predsRangeTooLong;
+        longQueued += b.slotStats.predsRangeTooLong;
+        queued += b.slotStats.predsQueued;
+
+        // Semantics unchanged either way.
+        SimConfig sc;
+        VliwSim sb(b.code, sc);
+        EXPECT_EQ(sb.run().checksum, b.goldenChecksum) << w.name;
+    }
+    EXPECT_LE(longQueued, longPlain);
+    if (longPlain > 0) {
+        EXPECT_LT(longQueued, longPlain);
+        EXPECT_GT(queued, 0);
+    }
+}
+
+} // namespace
+} // namespace lbp

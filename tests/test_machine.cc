@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Machine-model tests: the Figure-6 slot map and unit inventory,
+ * encoding-cost helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mach/machine.hh"
+
+namespace lbp
+{
+namespace
+{
+
+TEST(Machine, UnitInventoryMatchesPaper)
+{
+    Machine m;
+    // Paper section 7: eight integer ALUs, two integer multipliers,
+    // three memory units, one branch unit, two FP units, four
+    // predicate-generating units.
+    EXPECT_EQ(m.unitCount(UnitClass::IALU), 8);
+    EXPECT_EQ(m.unitCount(UnitClass::IMUL), 2);
+    EXPECT_EQ(m.unitCount(UnitClass::MEM), 3);
+    EXPECT_EQ(m.unitCount(UnitClass::BR), 1);
+    EXPECT_EQ(m.unitCount(UnitClass::FPU), 2);
+    EXPECT_EQ(m.unitCount(UnitClass::PRED), 4);
+}
+
+TEST(Machine, EverySlotHasIalu)
+{
+    Machine m;
+    for (int s = 0; s < Machine::width; ++s)
+        EXPECT_TRUE(m.slotSupports(s, UnitClass::IALU));
+}
+
+TEST(Machine, SlotCapabilitiesDisjointness)
+{
+    Machine m;
+    // The branch unit lives in exactly one slot.
+    int brSlots = 0;
+    for (int s = 0; s < Machine::width; ++s)
+        brSlots += m.slotSupports(s, UnitClass::BR);
+    EXPECT_EQ(brSlots, 1);
+    // Opcode-level dispatch agrees with class-level dispatch.
+    EXPECT_TRUE(m.slotSupports(m.slotsFor(UnitClass::BR)[0],
+                               Opcode::BR_CLOOP));
+    EXPECT_FALSE(m.slotSupports(m.slotsFor(UnitClass::BR)[0],
+                                Opcode::FMUL));
+}
+
+TEST(Machine, GuardFieldCost)
+{
+    // Paper section 4: eight predicate registers cost three bits per
+    // operation of guard field.
+    EXPECT_EQ(Machine::guardFieldBits(8), 3);
+    EXPECT_EQ(Machine::guardFieldBits(16), 4);
+    EXPECT_EQ(Machine::guardFieldBits(64), 6);
+    EXPECT_EQ(Machine::guardFieldBits(1), 0);
+    EXPECT_EQ(Machine::opBits, 32);
+}
+
+TEST(Machine, BranchPenaltyConfigurable)
+{
+    Machine m;
+    EXPECT_GE(m.branchPenalty(), 3); // paper: 3-5 cycle penalties
+    EXPECT_LE(m.branchPenalty(), 5);
+    m.setBranchPenalty(5);
+    EXPECT_EQ(m.branchPenalty(), 5);
+}
+
+} // namespace
+} // namespace lbp

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Power-model tests: CACTI-lite calibration to the paper's 41.8x
+ * ratio, monotonicity in size and ports, and fetch-energy
+ * aggregation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/cacti_lite.hh"
+#include "power/fetch_energy.hh"
+
+namespace lbp
+{
+namespace
+{
+
+TEST(CactiLite, CalibratedRatioMatchesPaper)
+{
+    CactiLite model;
+    EXPECT_NEAR(model.calibratedRatio(), 41.8, 0.05);
+}
+
+TEST(CactiLite, MonotoneInSize)
+{
+    CactiLite model;
+    double last = 0;
+    for (double bytes : {64.0, 256.0, 1024.0, 65536.0, 524288.0}) {
+        const double e = model.readEnergy(bytes, 1);
+        EXPECT_GT(e, last);
+        last = e;
+    }
+}
+
+TEST(CactiLite, MonotoneInPorts)
+{
+    CactiLite model;
+    EXPECT_GT(model.readEnergy(1024, 2), model.readEnergy(1024, 1));
+    EXPECT_GT(model.readEnergy(1024, 4), model.readEnergy(1024, 2));
+}
+
+TEST(CactiLite, SqrtSizeScaling)
+{
+    CactiLite model;
+    const double e1 = model.readEnergy(1024, 1);
+    const double e4 = model.readEnergy(4096, 1);
+    EXPECT_NEAR(e4 / e1, 2.0, 1e-9); // (4x size)^0.5
+}
+
+TEST(CactiLite, BufferEnergyGrowsWithBufferSize)
+{
+    CactiLite model;
+    double last = 0;
+    for (int ops : {16, 64, 256, 1024, 2048}) {
+        const double e = model.bufferFetchEnergy(ops);
+        EXPECT_GT(e, last);
+        last = e;
+    }
+    EXPECT_LT(last, model.memoryFetchEnergy());
+}
+
+TEST(CactiLite, ZeroBufferActsAsMemory)
+{
+    CactiLite model;
+    EXPECT_DOUBLE_EQ(model.bufferFetchEnergy(0),
+                     model.memoryFetchEnergy());
+}
+
+TEST(FetchEnergy, SplitsByFetchSource)
+{
+    CactiLite model;
+    SimStats st;
+    st.opsFetched = 1000;
+    st.opsFromBuffer = 900;
+    const FetchEnergy e = computeFetchEnergy(st, 256, model);
+    EXPECT_EQ(e.opsFromBuffer, 900u);
+    EXPECT_EQ(e.opsFromMemory, 100u);
+    EXPECT_NEAR(e.totalNj,
+                900 * model.bufferFetchEnergy(256) +
+                    100 * model.memoryFetchEnergy(),
+                1e-9);
+    // With a 41.8x ratio, 90% buffered cuts energy by ~88%.
+    const double unbuf = unbufferedEnergyNj(1000, model);
+    EXPECT_LT(e.totalNj, 0.15 * unbuf);
+    EXPECT_GT(e.totalNj, 0.10 * unbuf);
+}
+
+TEST(FetchEnergy, AllMemoryEqualsUnbuffered)
+{
+    CactiLite model;
+    SimStats st;
+    st.opsFetched = 777;
+    st.opsFromBuffer = 0;
+    const FetchEnergy e = computeFetchEnergy(st, 256, model);
+    EXPECT_DOUBLE_EQ(e.totalNj, unbufferedEnergyNj(777, model));
+}
+
+} // namespace
+} // namespace lbp

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Predicate-promotion tests: safe guard removal, speculative-load
+ * marking, escape analysis (live-out values), and semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "ir/interpreter.hh"
+#include "transform/if_convert.hh"
+#include "transform/promote.hh"
+#include "workloads/input_data.hh"
+
+namespace lbp
+{
+namespace
+{
+
+auto R = [](RegId r) { return Operand::reg(r); };
+auto I = [](std::int64_t v) { return Operand::imm(v); };
+
+/** Hyperblock loop where a guarded chain feeds a guarded store. */
+Program
+promotableProgram()
+{
+    Program prog;
+    const auto data = prog.allocData(256 * 4);
+    for (int i = 0; i < 256; ++i)
+        prog.poke32(data + 4 * i, (i * 13) % 40 - 20);
+    prog.checksumBase = data;
+    prog.checksumSize = 256 * 4;
+    const FuncId f = prog.newFunction("main");
+    prog.entryFunc = f;
+    IRBuilder b(prog, f);
+    const RegId dp = b.iconst(data);
+    b.forLoop(0, 100, 1, [&](RegId i) {
+        const RegId idx = b.and_(R(i), I(255));
+        const RegId i4 = b.shl(R(idx), I(2));
+        const RegId v = b.loadW(R(dp), R(i4));
+        workloads::ifThen(b, CmpCond::GT, R(v), I(0), [&] {
+            // A compute chain whose intermediates are promotable;
+            // the store must stay guarded.
+            const RegId t1 = b.mul(R(v), I(3));
+            const RegId t2 = b.add(R(t1), I(7));
+            const RegId t3 = b.shra(R(t2), I(1));
+            b.storeW(R(dp), R(i4), R(t3));
+        });
+    });
+    b.ret({});
+    return prog;
+}
+
+TEST(Promote, ChainPromotedStoreStaysGuarded)
+{
+    Program prog = promotableProgram();
+    Interpreter pre(prog);
+    const auto before = pre.run();
+
+    ifConvertLoops(prog);
+    auto st = promoteOperations(prog);
+    EXPECT_GE(st.promoted, 2);
+
+    // Count remaining guarded non-preddef ops: at least the store.
+    int guardedStores = 0, guardedAlu = 0;
+    for (const auto &bb : prog.functions[prog.entryFunc].blocks) {
+        if (bb.dead)
+            continue;
+        for (const auto &op : bb.ops) {
+            if (!op.hasGuard() || op.op == Opcode::PRED_DEF)
+                continue;
+            if (isStore(op.op))
+                ++guardedStores;
+            else if (!op.isBranchOp())
+                ++guardedAlu;
+        }
+    }
+    EXPECT_GE(guardedStores, 1);
+
+    Interpreter post(prog);
+    EXPECT_EQ(post.run().checksum, before.checksum);
+}
+
+TEST(Promote, EscapingValueNotPromoted)
+{
+    // acc is conditionally updated and live across iterations; its
+    // guarded write must not be promoted.
+    Program prog;
+    const auto data = prog.allocData(64 * 4);
+    for (int i = 0; i < 64; ++i)
+        prog.poke32(data + 4 * i, i % 5 - 2);
+    const FuncId f = prog.newFunction("main");
+    prog.entryFunc = f;
+    IRBuilder b(prog, f);
+    const RegId dp = b.iconst(data);
+    const RegId acc = b.iconst(0);
+    b.forLoop(0, 64, 1, [&](RegId i) {
+        const RegId i4 = b.shl(R(i), I(2));
+        const RegId v = b.loadW(R(dp), R(i4));
+        workloads::ifThen(b, CmpCond::GT, R(v), I(0), [&] {
+            b.addTo(acc, R(acc), R(v));
+        });
+    });
+    b.ret({R(acc)});
+    Interpreter pre(prog);
+    const auto before = pre.run();
+    ifConvertLoops(prog);
+    promoteOperations(prog);
+    // The add to acc must still be guarded.
+    bool accWriteGuarded = false;
+    for (const auto &bb : prog.functions[prog.entryFunc].blocks) {
+        if (bb.dead)
+            continue;
+        for (const auto &op : bb.ops) {
+            if (op.op == Opcode::ADD && op.writesReg(acc) &&
+                op.hasGuard()) {
+                accWriteGuarded = true;
+            }
+        }
+    }
+    EXPECT_TRUE(accWriteGuarded);
+    Interpreter post(prog);
+    EXPECT_EQ(post.run().returns, before.returns);
+}
+
+TEST(Promote, LoadsBecomeSpeculative)
+{
+    Program prog;
+    const auto data = prog.allocData(256 * 4);
+    const auto table = prog.allocData(64 * 4);
+    for (int i = 0; i < 256; ++i)
+        prog.poke32(data + 4 * i, i % 7 - 3);
+    for (int i = 0; i < 64; ++i)
+        prog.poke32(table + 4 * i, i * 2);
+    const FuncId f = prog.newFunction("main");
+    prog.entryFunc = f;
+    IRBuilder b(prog, f);
+    const RegId dp = b.iconst(data);
+    const RegId tp = b.iconst(table);
+    const RegId acc = b.iconst(0);
+    const RegId tmp = b.iconst(0);
+    b.forLoop(0, 100, 1, [&](RegId i) {
+        const RegId idx = b.and_(R(i), I(255));
+        const RegId i4 = b.shl(R(idx), I(2));
+        const RegId v = b.loadW(R(dp), R(i4));
+        workloads::ifThen(b, CmpCond::GT, R(v), I(0), [&] {
+            const RegId o4 = b.shl(R(b.and_(R(v), I(63))), I(2));
+            b.binTo(Opcode::MOV, tmp, R(o4), R(o4));
+        });
+        (void)tp;
+    });
+    b.ret({R(acc)});
+    // Build a guarded load manually to make the promotion target
+    // explicit.
+    Program prog2 = promotableProgram();
+    ifConvertLoops(prog2);
+    // Inject: find a guarded MUL and turn the op before the store
+    // into a guarded load... simpler: scan the promoted program from
+    // the chain test for speculative marks after promotion.
+    auto st = promoteOperations(prog2);
+    (void)st;
+    int specLoads = 0;
+    for (const auto &fn : prog2.functions)
+        for (const auto &bb : fn.blocks)
+            for (const auto &op : bb.ops)
+                if (isLoad(op.op) && op.speculative)
+                    ++specLoads;
+    // The promotable program's loads were unguarded to begin with;
+    // speculative count may be zero. This asserts the mechanism does
+    // not mark unguarded loads.
+    for (const auto &fn : prog2.functions) {
+        for (const auto &bb : fn.blocks) {
+            for (const auto &op : bb.ops) {
+                if (isLoad(op.op) && op.speculative) {
+                    EXPECT_FALSE(op.hasGuard());
+                }
+            }
+        }
+    }
+}
+
+TEST(Promote, GuardedLoadPromotionEndToEnd)
+{
+    // A guarded table lookup consumed only under the same guard:
+    // promotion must lift it to a speculative load and keep results
+    // identical.
+    Program prog;
+    const auto data = prog.allocData(128 * 4);
+    const auto table = prog.allocData(64 * 4);
+    for (int i = 0; i < 128; ++i)
+        prog.poke32(data + 4 * i, i % 11 - 5);
+    for (int i = 0; i < 64; ++i)
+        prog.poke32(table + 4 * i, 100 + i);
+    prog.checksumBase = data;
+    prog.checksumSize = 128 * 4;
+    const FuncId f = prog.newFunction("main");
+    prog.entryFunc = f;
+    IRBuilder b(prog, f);
+    const RegId dp = b.iconst(data);
+    const RegId tp = b.iconst(table);
+    b.forLoop(0, 128, 1, [&](RegId i) {
+        const RegId i4 = b.shl(R(i), I(2));
+        const RegId v = b.loadW(R(dp), R(i4));
+        workloads::ifThen(b, CmpCond::GT, R(v), I(0), [&] {
+            const RegId o4 = b.shl(R(v), I(2));
+            const RegId o4c = b.min(R(o4), I(63 * 4));
+            const RegId t = b.loadW(R(tp), R(o4c));
+            b.storeW(R(dp), R(i4), R(t));
+        });
+    });
+    b.ret({});
+    Interpreter pre(prog);
+    const auto before = pre.run();
+    ifConvertLoops(prog);
+    auto st = promoteOperations(prog);
+    EXPECT_GE(st.speculativeLoads, 1);
+    Interpreter post(prog);
+    EXPECT_EQ(post.run().checksum, before.checksum);
+}
+
+} // namespace
+} // namespace lbp

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Reassociation (height reduction) tests: accumulator chains, fresh
+ * intermediate chains, guard handling, rejection cases, recurrence
+ * shortening, and random-program equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/dependence.hh"
+#include "analysis/loop_info.hh"
+#include "ir/builder.hh"
+#include "ir/interpreter.hh"
+#include "ir/verifier.hh"
+#include "support/random.hh"
+#include "transform/reassociate.hh"
+
+namespace lbp
+{
+namespace
+{
+
+auto R = [](RegId r) { return Operand::reg(r); };
+auto I = [](std::int64_t v) { return Operand::imm(v); };
+
+TEST(Reassociate, AccumulatorChainRebalanced)
+{
+    Program prog;
+    const FuncId f = prog.newFunction("main");
+    Function &fn = prog.functions[f];
+    std::vector<RegId> in;
+    for (int i = 0; i < 8; ++i)
+        in.push_back(fn.newReg());
+    fn.params = in;
+    fn.numReturns = 1;
+    prog.entryFunc = f;
+    IRBuilder b(prog, f);
+    RegId acc = b.mov(R(in[0]));
+    for (int i = 1; i < 8; ++i)
+        b.addTo(acc, R(acc), R(in[i]));
+    b.ret({R(acc)});
+
+    Interpreter pre(prog);
+    const std::vector<std::int64_t> args{1, 2, 3, 4, 5, 6, 7, 8};
+    const auto before = pre.run(args);
+
+    auto st = reassociate(fn);
+    EXPECT_EQ(st.chainsRebalanced, 1);
+    EXPECT_EQ(st.opsInChains, 7);
+    verifyOrDie(fn);
+    Interpreter post(prog);
+    EXPECT_EQ(post.run(args).returns, before.returns);
+
+    // Height check: the dependence height of the block shrinks from
+    // ~7 to ~log2(8)=3 (+1 for the mov).
+    const BasicBlock &bb = fn.blocks[fn.entry];
+    DepGraph dg(bb, false);
+    int h = 0;
+    for (int x : dg.heights())
+        h = std::max(h, x);
+    EXPECT_LE(h, 5);
+}
+
+TEST(Reassociate, ShortensLoopRecurrence)
+{
+    Program prog;
+    prog.allocData(1024);
+    const FuncId f = prog.newFunction("main");
+    prog.entryFunc = f;
+    IRBuilder b(prog, f);
+    const RegId dp = b.iconst(0);
+    const RegId acc = b.iconst(0);
+    const BlockId head = b.forLoop(0, 32, 1, [&](RegId i) {
+        const RegId i4 = b.shl(R(b.and_(R(i), I(200))), I(2));
+        const RegId v0 = b.loadW(R(dp), R(i4));
+        // Serial accumulator chain: acc += v0; acc += i; acc += 3;
+        // acc += v0>>1;
+        b.addTo(acc, R(acc), R(v0));
+        b.addTo(acc, R(acc), R(i));
+        b.addTo(acc, R(acc), I(3));
+        const RegId h = b.shra(R(v0), I(1));
+        b.addTo(acc, R(acc), R(h));
+    });
+    b.ret({R(acc)});
+    Function &fn = prog.functions[f];
+
+    const int recBefore = DepGraph(fn.blocks[head], true).recMII();
+    Interpreter pre(prog);
+    const auto before = pre.run();
+    auto st = reassociate(fn);
+    ASSERT_GE(st.chainsRebalanced, 1);
+    const int recAfter = DepGraph(fn.blocks[head], true).recMII();
+    EXPECT_LT(recAfter, recBefore);
+    Interpreter post(prog);
+    EXPECT_EQ(post.run().returns, before.returns);
+}
+
+TEST(Reassociate, MinMaxAndBitwiseChains)
+{
+    for (Opcode oc : {Opcode::MIN, Opcode::MAX, Opcode::AND,
+                      Opcode::OR, Opcode::XOR, Opcode::MUL}) {
+        Program prog;
+        const FuncId f = prog.newFunction("main");
+        prog.entryFunc = f;
+        IRBuilder b(prog, f);
+        RegId acc = b.iconst(13);
+        const std::int64_t ks[] = {29, -7, 101, 5, 64};
+        for (std::int64_t k : ks) {
+            // Mix a register in so constant folding can't collapse
+            // everything first.
+            const RegId t = b.add(R(acc), I(0)); // copy barrier
+            (void)t;
+            b.binTo(oc, acc, R(acc), I(k));
+        }
+        b.ret({R(acc)});
+        Interpreter pre(prog);
+        const auto before = pre.run();
+        reassociate(prog.functions[f]);
+        verifyOrDie(prog.functions[f]);
+        Interpreter post(prog);
+        EXPECT_EQ(post.run().returns, before.returns)
+            << opcodeName(oc);
+    }
+}
+
+TEST(Reassociate, InterleavedReaderBlocksChain)
+{
+    // A second reader of an intermediate makes rebalancing unsafe.
+    Program prog;
+    prog.allocData(64);
+    const FuncId f = prog.newFunction("main");
+    prog.entryFunc = f;
+    IRBuilder b(prog, f);
+    const RegId dp = b.iconst(0);
+    const RegId a = b.iconst(2);
+    const RegId t1 = b.add(R(a), I(3));
+    b.storeW(R(dp), I(0), R(t1)); // extra reader of t1
+    const RegId t2 = b.add(R(t1), I(4));
+    const RegId t3 = b.add(R(t2), I(5));
+    b.ret({R(t3)});
+    auto st = reassociate(prog.functions[f]);
+    EXPECT_EQ(st.chainsRebalanced, 0);
+}
+
+TEST(Reassociate, SatAddNotTouched)
+{
+    // Saturating addition is not associative; the chain must stay.
+    Program prog;
+    const FuncId f = prog.newFunction("main");
+    prog.entryFunc = f;
+    IRBuilder b(prog, f);
+    RegId acc = b.iconst(30000);
+    for (int i = 0; i < 4; ++i)
+        b.binTo(Opcode::SATADD, acc, R(acc), I(5000));
+    b.ret({R(acc)});
+    auto st = reassociate(prog.functions[f]);
+    EXPECT_EQ(st.chainsRebalanced, 0);
+    Interpreter interp(prog);
+    EXPECT_EQ(interp.run().returns[0], 32767);
+}
+
+TEST(Reassociate, GuardedChainKeepsGuard)
+{
+    Program prog;
+    const FuncId f = prog.newFunction("main");
+    prog.entryFunc = f;
+    IRBuilder b(prog, f);
+    const PredId p = b.newPred();
+    b.predDef(PredDefKind::UT, p, CmpCond::FALSE_, I(0), I(0));
+    RegId acc = b.iconst(100);
+    for (int i = 0; i < 4; ++i) {
+        Operation o = makeBinary(Opcode::ADD, acc, R(acc), I(1));
+        o.guard = p;
+        b.emit(o);
+    }
+    b.ret({R(acc)});
+    reassociate(prog.functions[f]);
+    Interpreter interp(prog);
+    // Guard is false: none of the adds execute, rebalanced or not.
+    EXPECT_EQ(interp.run().returns[0], 100);
+}
+
+TEST(Reassociate, RandomEquivalence)
+{
+    Rng rng(20260706);
+    for (int trial = 0; trial < 40; ++trial) {
+        Program prog;
+        const auto data = prog.allocData(256);
+        prog.checksumBase = data;
+        prog.checksumSize = 256;
+        const FuncId f = prog.newFunction("main");
+        prog.entryFunc = f;
+        IRBuilder b(prog, f);
+        const RegId dp = b.iconst(data);
+        std::vector<RegId> pool{b.iconst(rng.nextRange(-9, 9)),
+                                b.iconst(rng.nextRange(1, 9))};
+        const Opcode assoc[] = {Opcode::ADD, Opcode::XOR, Opcode::AND,
+                                Opcode::OR, Opcode::MIN, Opcode::MAX};
+        const int n = 8 + static_cast<int>(rng.nextBelow(40));
+        RegId acc = b.iconst(0);
+        for (int i = 0; i < n; ++i) {
+            const double roll = rng.nextDouble();
+            const RegId a = pool[rng.nextBelow(pool.size())];
+            if (roll < 0.55) {
+                // Grow a chain on acc.
+                b.binTo(assoc[rng.nextBelow(6)], acc, R(acc), R(a));
+            } else if (roll < 0.7) {
+                pool.push_back(
+                    b.add(R(a), I(rng.nextRange(-5, 5))));
+            } else if (roll < 0.8) {
+                b.storeW(R(dp),
+                         I(4 * static_cast<int>(rng.nextBelow(32))),
+                         R(acc));
+            } else {
+                pool.push_back(b.xor_(R(a), R(acc)));
+            }
+        }
+        b.storeW(R(dp), I(128), R(acc));
+        b.ret({R(acc)});
+
+        Interpreter pre(prog);
+        const auto before = pre.run();
+        reassociate(prog.functions[f]);
+        verifyOrDie(prog.functions[f]);
+        Interpreter post(prog);
+        const auto after = post.run();
+        EXPECT_EQ(before.checksum, after.checksum)
+            << "trial " << trial;
+        EXPECT_EQ(before.returns, after.returns) << "trial " << trial;
+    }
+}
+
+} // namespace
+} // namespace lbp
