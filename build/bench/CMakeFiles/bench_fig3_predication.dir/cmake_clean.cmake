@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_predication.dir/bench_fig3_predication.cc.o"
+  "CMakeFiles/bench_fig3_predication.dir/bench_fig3_predication.cc.o.d"
+  "bench_fig3_predication"
+  "bench_fig3_predication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_predication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

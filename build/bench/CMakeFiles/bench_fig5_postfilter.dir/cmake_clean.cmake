@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_postfilter.dir/bench_fig5_postfilter.cc.o"
+  "CMakeFiles/bench_fig5_postfilter.dir/bench_fig5_postfilter.cc.o.d"
+  "bench_fig5_postfilter"
+  "bench_fig5_postfilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_postfilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_buffer_issue.dir/bench_fig7_buffer_issue.cc.o"
+  "CMakeFiles/bench_fig7_buffer_issue.dir/bench_fig7_buffer_issue.cc.o.d"
+  "bench_fig7_buffer_issue"
+  "bench_fig7_buffer_issue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_buffer_issue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_preddef.dir/bench_table2_preddef.cc.o"
+  "CMakeFiles/bench_table2_preddef.dir/bench_table2_preddef.cc.o.d"
+  "bench_table2_preddef"
+  "bench_table2_preddef.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_preddef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

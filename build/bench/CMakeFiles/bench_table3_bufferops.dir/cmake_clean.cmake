@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_bufferops.dir/bench_table3_bufferops.cc.o"
+  "CMakeFiles/bench_table3_bufferops.dir/bench_table3_bufferops.cc.o.d"
+  "bench_table3_bufferops"
+  "bench_table3_bufferops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_bufferops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_collapse_walkthrough.dir/collapse_walkthrough.cpp.o"
+  "CMakeFiles/example_collapse_walkthrough.dir/collapse_walkthrough.cpp.o.d"
+  "example_collapse_walkthrough"
+  "example_collapse_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_collapse_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lbpc.dir/lbpc.cpp.o"
+  "CMakeFiles/example_lbpc.dir/lbpc.cpp.o.d"
+  "example_lbpc"
+  "example_lbpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lbpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_postfilter_trace.dir/postfilter_trace.cpp.o"
+  "CMakeFiles/example_postfilter_trace.dir/postfilter_trace.cpp.o.d"
+  "example_postfilter_trace"
+  "example_postfilter_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_postfilter_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

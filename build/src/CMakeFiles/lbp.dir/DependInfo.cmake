@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dependence.cc" "src/CMakeFiles/lbp.dir/analysis/dependence.cc.o" "gcc" "src/CMakeFiles/lbp.dir/analysis/dependence.cc.o.d"
+  "/root/repo/src/analysis/dominators.cc" "src/CMakeFiles/lbp.dir/analysis/dominators.cc.o" "gcc" "src/CMakeFiles/lbp.dir/analysis/dominators.cc.o.d"
+  "/root/repo/src/analysis/liveness.cc" "src/CMakeFiles/lbp.dir/analysis/liveness.cc.o" "gcc" "src/CMakeFiles/lbp.dir/analysis/liveness.cc.o.d"
+  "/root/repo/src/analysis/loop_info.cc" "src/CMakeFiles/lbp.dir/analysis/loop_info.cc.o" "gcc" "src/CMakeFiles/lbp.dir/analysis/loop_info.cc.o.d"
+  "/root/repo/src/core/buffer_alloc.cc" "src/CMakeFiles/lbp.dir/core/buffer_alloc.cc.o" "gcc" "src/CMakeFiles/lbp.dir/core/buffer_alloc.cc.o.d"
+  "/root/repo/src/core/compiler.cc" "src/CMakeFiles/lbp.dir/core/compiler.cc.o" "gcc" "src/CMakeFiles/lbp.dir/core/compiler.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/lbp.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/lbp.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/slot_predication.cc" "src/CMakeFiles/lbp.dir/core/slot_predication.cc.o" "gcc" "src/CMakeFiles/lbp.dir/core/slot_predication.cc.o.d"
+  "/root/repo/src/ir/basic_block.cc" "src/CMakeFiles/lbp.dir/ir/basic_block.cc.o" "gcc" "src/CMakeFiles/lbp.dir/ir/basic_block.cc.o.d"
+  "/root/repo/src/ir/builder.cc" "src/CMakeFiles/lbp.dir/ir/builder.cc.o" "gcc" "src/CMakeFiles/lbp.dir/ir/builder.cc.o.d"
+  "/root/repo/src/ir/function.cc" "src/CMakeFiles/lbp.dir/ir/function.cc.o" "gcc" "src/CMakeFiles/lbp.dir/ir/function.cc.o.d"
+  "/root/repo/src/ir/interpreter.cc" "src/CMakeFiles/lbp.dir/ir/interpreter.cc.o" "gcc" "src/CMakeFiles/lbp.dir/ir/interpreter.cc.o.d"
+  "/root/repo/src/ir/opcode.cc" "src/CMakeFiles/lbp.dir/ir/opcode.cc.o" "gcc" "src/CMakeFiles/lbp.dir/ir/opcode.cc.o.d"
+  "/root/repo/src/ir/operation.cc" "src/CMakeFiles/lbp.dir/ir/operation.cc.o" "gcc" "src/CMakeFiles/lbp.dir/ir/operation.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/CMakeFiles/lbp.dir/ir/printer.cc.o" "gcc" "src/CMakeFiles/lbp.dir/ir/printer.cc.o.d"
+  "/root/repo/src/ir/program.cc" "src/CMakeFiles/lbp.dir/ir/program.cc.o" "gcc" "src/CMakeFiles/lbp.dir/ir/program.cc.o.d"
+  "/root/repo/src/ir/serialize.cc" "src/CMakeFiles/lbp.dir/ir/serialize.cc.o" "gcc" "src/CMakeFiles/lbp.dir/ir/serialize.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/CMakeFiles/lbp.dir/ir/verifier.cc.o" "gcc" "src/CMakeFiles/lbp.dir/ir/verifier.cc.o.d"
+  "/root/repo/src/mach/machine.cc" "src/CMakeFiles/lbp.dir/mach/machine.cc.o" "gcc" "src/CMakeFiles/lbp.dir/mach/machine.cc.o.d"
+  "/root/repo/src/power/cacti_lite.cc" "src/CMakeFiles/lbp.dir/power/cacti_lite.cc.o" "gcc" "src/CMakeFiles/lbp.dir/power/cacti_lite.cc.o.d"
+  "/root/repo/src/power/fetch_energy.cc" "src/CMakeFiles/lbp.dir/power/fetch_energy.cc.o" "gcc" "src/CMakeFiles/lbp.dir/power/fetch_energy.cc.o.d"
+  "/root/repo/src/profile/profile.cc" "src/CMakeFiles/lbp.dir/profile/profile.cc.o" "gcc" "src/CMakeFiles/lbp.dir/profile/profile.cc.o.d"
+  "/root/repo/src/sched/list_scheduler.cc" "src/CMakeFiles/lbp.dir/sched/list_scheduler.cc.o" "gcc" "src/CMakeFiles/lbp.dir/sched/list_scheduler.cc.o.d"
+  "/root/repo/src/sched/modulo_scheduler.cc" "src/CMakeFiles/lbp.dir/sched/modulo_scheduler.cc.o" "gcc" "src/CMakeFiles/lbp.dir/sched/modulo_scheduler.cc.o.d"
+  "/root/repo/src/sched/schedule.cc" "src/CMakeFiles/lbp.dir/sched/schedule.cc.o" "gcc" "src/CMakeFiles/lbp.dir/sched/schedule.cc.o.d"
+  "/root/repo/src/sim/loop_buffer.cc" "src/CMakeFiles/lbp.dir/sim/loop_buffer.cc.o" "gcc" "src/CMakeFiles/lbp.dir/sim/loop_buffer.cc.o.d"
+  "/root/repo/src/sim/vliw_sim.cc" "src/CMakeFiles/lbp.dir/sim/vliw_sim.cc.o" "gcc" "src/CMakeFiles/lbp.dir/sim/vliw_sim.cc.o.d"
+  "/root/repo/src/support/logging.cc" "src/CMakeFiles/lbp.dir/support/logging.cc.o" "gcc" "src/CMakeFiles/lbp.dir/support/logging.cc.o.d"
+  "/root/repo/src/support/random.cc" "src/CMakeFiles/lbp.dir/support/random.cc.o" "gcc" "src/CMakeFiles/lbp.dir/support/random.cc.o.d"
+  "/root/repo/src/support/stats.cc" "src/CMakeFiles/lbp.dir/support/stats.cc.o" "gcc" "src/CMakeFiles/lbp.dir/support/stats.cc.o.d"
+  "/root/repo/src/transform/branch_combine.cc" "src/CMakeFiles/lbp.dir/transform/branch_combine.cc.o" "gcc" "src/CMakeFiles/lbp.dir/transform/branch_combine.cc.o.d"
+  "/root/repo/src/transform/classic_opts.cc" "src/CMakeFiles/lbp.dir/transform/classic_opts.cc.o" "gcc" "src/CMakeFiles/lbp.dir/transform/classic_opts.cc.o.d"
+  "/root/repo/src/transform/counted_loop.cc" "src/CMakeFiles/lbp.dir/transform/counted_loop.cc.o" "gcc" "src/CMakeFiles/lbp.dir/transform/counted_loop.cc.o.d"
+  "/root/repo/src/transform/if_convert.cc" "src/CMakeFiles/lbp.dir/transform/if_convert.cc.o" "gcc" "src/CMakeFiles/lbp.dir/transform/if_convert.cc.o.d"
+  "/root/repo/src/transform/inliner.cc" "src/CMakeFiles/lbp.dir/transform/inliner.cc.o" "gcc" "src/CMakeFiles/lbp.dir/transform/inliner.cc.o.d"
+  "/root/repo/src/transform/loop_collapse.cc" "src/CMakeFiles/lbp.dir/transform/loop_collapse.cc.o" "gcc" "src/CMakeFiles/lbp.dir/transform/loop_collapse.cc.o.d"
+  "/root/repo/src/transform/loop_peel.cc" "src/CMakeFiles/lbp.dir/transform/loop_peel.cc.o" "gcc" "src/CMakeFiles/lbp.dir/transform/loop_peel.cc.o.d"
+  "/root/repo/src/transform/promote.cc" "src/CMakeFiles/lbp.dir/transform/promote.cc.o" "gcc" "src/CMakeFiles/lbp.dir/transform/promote.cc.o.d"
+  "/root/repo/src/transform/reassociate.cc" "src/CMakeFiles/lbp.dir/transform/reassociate.cc.o" "gcc" "src/CMakeFiles/lbp.dir/transform/reassociate.cc.o.d"
+  "/root/repo/src/transform/unroll.cc" "src/CMakeFiles/lbp.dir/transform/unroll.cc.o" "gcc" "src/CMakeFiles/lbp.dir/transform/unroll.cc.o.d"
+  "/root/repo/src/workloads/adpcm.cc" "src/CMakeFiles/lbp.dir/workloads/adpcm.cc.o" "gcc" "src/CMakeFiles/lbp.dir/workloads/adpcm.cc.o.d"
+  "/root/repo/src/workloads/g724.cc" "src/CMakeFiles/lbp.dir/workloads/g724.cc.o" "gcc" "src/CMakeFiles/lbp.dir/workloads/g724.cc.o.d"
+  "/root/repo/src/workloads/input_data.cc" "src/CMakeFiles/lbp.dir/workloads/input_data.cc.o" "gcc" "src/CMakeFiles/lbp.dir/workloads/input_data.cc.o.d"
+  "/root/repo/src/workloads/jpeg.cc" "src/CMakeFiles/lbp.dir/workloads/jpeg.cc.o" "gcc" "src/CMakeFiles/lbp.dir/workloads/jpeg.cc.o.d"
+  "/root/repo/src/workloads/mpeg2.cc" "src/CMakeFiles/lbp.dir/workloads/mpeg2.cc.o" "gcc" "src/CMakeFiles/lbp.dir/workloads/mpeg2.cc.o.d"
+  "/root/repo/src/workloads/mpg123.cc" "src/CMakeFiles/lbp.dir/workloads/mpg123.cc.o" "gcc" "src/CMakeFiles/lbp.dir/workloads/mpg123.cc.o.d"
+  "/root/repo/src/workloads/pgp.cc" "src/CMakeFiles/lbp.dir/workloads/pgp.cc.o" "gcc" "src/CMakeFiles/lbp.dir/workloads/pgp.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/lbp.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/lbp.dir/workloads/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cc" "tests/CMakeFiles/lbp_tests.dir/test_analysis.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_analysis.cc.o.d"
+  "/root/repo/tests/test_branch_combine.cc" "tests/CMakeFiles/lbp_tests.dir/test_branch_combine.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_branch_combine.cc.o.d"
+  "/root/repo/tests/test_buffer_alloc.cc" "tests/CMakeFiles/lbp_tests.dir/test_buffer_alloc.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_buffer_alloc.cc.o.d"
+  "/root/repo/tests/test_classic_opts.cc" "tests/CMakeFiles/lbp_tests.dir/test_classic_opts.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_classic_opts.cc.o.d"
+  "/root/repo/tests/test_compiler.cc" "tests/CMakeFiles/lbp_tests.dir/test_compiler.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_compiler.cc.o.d"
+  "/root/repo/tests/test_counted_loop.cc" "tests/CMakeFiles/lbp_tests.dir/test_counted_loop.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_counted_loop.cc.o.d"
+  "/root/repo/tests/test_differential.cc" "tests/CMakeFiles/lbp_tests.dir/test_differential.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_differential.cc.o.d"
+  "/root/repo/tests/test_end_to_end.cc" "tests/CMakeFiles/lbp_tests.dir/test_end_to_end.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_end_to_end.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/lbp_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_if_convert.cc" "tests/CMakeFiles/lbp_tests.dir/test_if_convert.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_if_convert.cc.o.d"
+  "/root/repo/tests/test_inliner.cc" "tests/CMakeFiles/lbp_tests.dir/test_inliner.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_inliner.cc.o.d"
+  "/root/repo/tests/test_interpreter.cc" "tests/CMakeFiles/lbp_tests.dir/test_interpreter.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_interpreter.cc.o.d"
+  "/root/repo/tests/test_ir.cc" "tests/CMakeFiles/lbp_tests.dir/test_ir.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_ir.cc.o.d"
+  "/root/repo/tests/test_loop_buffer.cc" "tests/CMakeFiles/lbp_tests.dir/test_loop_buffer.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_loop_buffer.cc.o.d"
+  "/root/repo/tests/test_loop_transforms.cc" "tests/CMakeFiles/lbp_tests.dir/test_loop_transforms.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_loop_transforms.cc.o.d"
+  "/root/repo/tests/test_machine.cc" "tests/CMakeFiles/lbp_tests.dir/test_machine.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_machine.cc.o.d"
+  "/root/repo/tests/test_modulo.cc" "tests/CMakeFiles/lbp_tests.dir/test_modulo.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_modulo.cc.o.d"
+  "/root/repo/tests/test_power.cc" "tests/CMakeFiles/lbp_tests.dir/test_power.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_power.cc.o.d"
+  "/root/repo/tests/test_promote.cc" "tests/CMakeFiles/lbp_tests.dir/test_promote.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_promote.cc.o.d"
+  "/root/repo/tests/test_reassociate.cc" "tests/CMakeFiles/lbp_tests.dir/test_reassociate.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_reassociate.cc.o.d"
+  "/root/repo/tests/test_scheduler.cc" "tests/CMakeFiles/lbp_tests.dir/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_scheduler.cc.o.d"
+  "/root/repo/tests/test_serialize.cc" "tests/CMakeFiles/lbp_tests.dir/test_serialize.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_serialize.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/lbp_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_slot_predication.cc" "tests/CMakeFiles/lbp_tests.dir/test_slot_predication.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_slot_predication.cc.o.d"
+  "/root/repo/tests/test_support.cc" "tests/CMakeFiles/lbp_tests.dir/test_support.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_support.cc.o.d"
+  "/root/repo/tests/test_unroll.cc" "tests/CMakeFiles/lbp_tests.dir/test_unroll.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_unroll.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/lbp_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lbp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
