@@ -158,8 +158,8 @@ encodingStudy()
     rule();
     long long totalOps = 0;
     for (const auto &w : benchNames()) {
-        auto cr = compileBench(w, OptLevel::Aggressive);
-        const long long ops = cr->scheduledOps;
+        auto &cr = compileBench(w, OptLevel::Aggressive);
+        const long long ops = cr.scheduledOps;
         totalOps += ops;
         std::printf("%-12s %10lld %12lld %14lld %14lld\n", w.c_str(),
                     ops, ops * 32,
@@ -224,12 +224,12 @@ main()
     for (int pen : {3, 4, 5, 8}) {
         std::uint64_t ct = 0, ca = 0;
         for (const auto &w : benchNames()) {
-            auto trad = compileBench(w, OptLevel::Traditional);
-            auto aggr = compileBench(w, OptLevel::Aggressive);
+            auto &trad = compileBench(w, OptLevel::Traditional);
+            auto &aggr = compileBench(w, OptLevel::Aggressive);
             SimConfig sc;
             sc.bufferOps = 256;
             sc.branchPenalty = pen;
-            VliwSim st(trad->code, sc), sa(aggr->code, sc);
+            VliwSim st(trad.code, sc), sa(aggr.code, sc);
             ct += st.run().cycles;
             ca += sa.run().cycles;
         }

@@ -1,6 +1,10 @@
 #include "bench_common.hh"
 
 #include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
 
 #include "support/logging.hh"
 
@@ -17,24 +21,55 @@ figureBufferSizes()
     return sizes;
 }
 
-std::unique_ptr<CompileResult>
-compileBench(const std::string &name, OptLevel level)
+CompileResult &
+compileBench(const std::string &name, OptLevel level, PredMode mode)
 {
-    Program prog = workloads::buildWorkload(name);
-    CompileOptions opts;
-    opts.level = level;
-    auto cr = std::make_unique<CompileResult>();
-    compileProgram(prog, opts, *cr);
-    return cr;
+    // Slot lowering only runs at the aggressive level; elsewhere both
+    // PredModes map to the same compilation, so normalize the key to
+    // avoid duplicate compiles.
+    const bool slot =
+        level != OptLevel::Aggressive || mode == PredMode::SLOT;
+
+    // Per-entry locking so different cache keys compile concurrently
+    // while a shared key compiles exactly once.
+    struct Entry
+    {
+        std::mutex mu;
+        std::unique_ptr<CompileResult> cr;
+    };
+    static std::mutex mapMu;
+    static std::map<std::tuple<std::string, int, bool>,
+                    std::shared_ptr<Entry>> cache;
+
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lock(mapMu);
+        auto &slotRef = cache[{name, static_cast<int>(level), slot}];
+        if (!slotRef)
+            slotRef = std::make_shared<Entry>();
+        entry = slotRef;
+    }
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (!entry->cr) {
+        Program prog = workloads::buildWorkload(name);
+        CompileOptions opts;
+        opts.level = level;
+        opts.slotLowering = slot;
+        entry->cr = std::make_unique<CompileResult>();
+        compileProgram(prog, opts, *entry->cr);
+    }
+    return *entry->cr;
 }
 
 SimStats
-simulate(CompileResult &cr, int bufferOps, PredMode mode)
+simulate(CompileResult &cr, int bufferOps, PredMode mode,
+         SimEngine engine)
 {
     reallocateBuffers(cr, bufferOps);
     SimConfig sc;
     sc.bufferOps = bufferOps;
     sc.predMode = mode;
+    sc.engine = engine;
     VliwSim sim(cr.code, sc);
     SimStats st = sim.run();
     LBP_ASSERT(st.checksum == cr.goldenChecksum,

@@ -55,10 +55,10 @@ main()
     PredicationMetrics total;
     SlotLoweringStats slotTotal;
     for (const auto &name : benchNames()) {
-        auto cr = compileBench(name, OptLevel::Aggressive);
-        auto m = collectPredicationMetrics(*cr);
+        auto &cr = compileBench(name, OptLevel::Aggressive);
+        auto m = collectPredicationMetrics(cr);
         mergeMetrics(total, m);
-        const auto &s = cr->slotStats;
+        const auto &s = cr.slotStats;
         slotTotal.blocksAttempted += s.blocksAttempted;
         slotTotal.blocksLowered += s.blocksLowered;
         slotTotal.blocksFailedConflict += s.blocksFailedConflict;

@@ -37,12 +37,12 @@ main()
         std::printf("%-28s %6s %6s %6s %10s %12s\n", "loop", "ops",
                     "addr", "recs", "buffered", "iterations");
         rule();
-        for (const auto &[key, ls] : st.loops) {
+        for (const LoopStats *ls : st.activeLoops()) {
             std::printf("%-28s %6d %6d %6llu %10llu %12llu\n",
-                        ls.name.c_str(), ls.imageOps, ls.bufAddr,
-                        (unsigned long long)ls.recordings,
-                        (unsigned long long)ls.bufferIterations,
-                        (unsigned long long)ls.iterations);
+                        ls->name.c_str(), ls->imageOps, ls->bufAddr,
+                        (unsigned long long)ls->recordings,
+                        (unsigned long long)ls->bufferIterations,
+                        (unsigned long long)ls->iterations);
         }
         rule();
         std::printf("total issue: %llu ops, %.2f%% from buffer "

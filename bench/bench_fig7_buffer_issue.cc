@@ -31,11 +31,11 @@ runLevel(OptLevel level)
 {
     std::vector<Series> out;
     for (const auto &name : benchNames()) {
-        auto cr = compileBench(name, level);
+        auto &cr = compileBench(name, level);
         Series s;
         s.name = name;
         for (int size : figureBufferSizes()) {
-            const SimStats st = simulate(*cr, size);
+            const SimStats st = simulate(cr, size);
             s.frac.push_back(st.bufferFraction());
         }
         out.push_back(std::move(s));

@@ -29,16 +29,16 @@ main()
 
     std::vector<double> speedups, speedupsHeadline;
     for (const auto &name : benchNames()) {
-        auto trad = compileBench(name, OptLevel::Traditional);
-        auto aggr = compileBench(name, OptLevel::Aggressive);
-        const SimStats st = simulate(*trad, 256);
-        const SimStats sa = simulate(*aggr, 256);
+        auto &trad = compileBench(name, OptLevel::Traditional);
+        auto &aggr = compileBench(name, OptLevel::Aggressive);
+        const SimStats st = simulate(trad, 256);
+        const SimStats sa = simulate(aggr, 256);
 
         const double speedup = static_cast<double>(st.cycles) /
                                static_cast<double>(sa.cycles);
         const double codeRatio =
-            static_cast<double>(aggr->scheduledOps) /
-            static_cast<double>(trad->scheduledOps);
+            static_cast<double>(aggr.scheduledOps) /
+            static_cast<double>(trad.scheduledOps);
         const double bundleRatio =
             static_cast<double>(sa.bundles) /
             static_cast<double>(st.bundles);

@@ -34,10 +34,10 @@ main()
     double sumBase = 0, sumTrans = 0;
     int n = 0;
     for (const auto &name : benchNames()) {
-        auto trad = compileBench(name, OptLevel::Traditional);
-        auto aggr = compileBench(name, OptLevel::Aggressive);
-        const SimStats st = simulate(*trad, 256);
-        const SimStats sa = simulate(*aggr, 256);
+        auto &trad = compileBench(name, OptLevel::Traditional);
+        auto &aggr = compileBench(name, OptLevel::Aggressive);
+        const SimStats st = simulate(trad, 256);
+        const SimStats sa = simulate(aggr, 256);
 
         const double unbuffered =
             unbufferedEnergyNj(st.opsFetched, model);

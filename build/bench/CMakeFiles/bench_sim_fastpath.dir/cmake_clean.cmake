@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_fastpath.dir/bench_sim_fastpath.cc.o"
+  "CMakeFiles/bench_sim_fastpath.dir/bench_sim_fastpath.cc.o.d"
+  "bench_sim_fastpath"
+  "bench_sim_fastpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_fastpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

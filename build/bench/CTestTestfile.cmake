@@ -4,3 +4,5 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(bench_sim_fastpath_smoke "/root/repo/build/bench/bench_sim_fastpath" "--quick")
+set_tests_properties(bench_sim_fastpath_smoke PROPERTIES  LABELS "perf" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;24;add_test;/root/repo/bench/CMakeLists.txt;0;")

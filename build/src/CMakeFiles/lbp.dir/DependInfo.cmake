@@ -33,11 +33,14 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sched/list_scheduler.cc" "src/CMakeFiles/lbp.dir/sched/list_scheduler.cc.o" "gcc" "src/CMakeFiles/lbp.dir/sched/list_scheduler.cc.o.d"
   "/root/repo/src/sched/modulo_scheduler.cc" "src/CMakeFiles/lbp.dir/sched/modulo_scheduler.cc.o" "gcc" "src/CMakeFiles/lbp.dir/sched/modulo_scheduler.cc.o.d"
   "/root/repo/src/sched/schedule.cc" "src/CMakeFiles/lbp.dir/sched/schedule.cc.o" "gcc" "src/CMakeFiles/lbp.dir/sched/schedule.cc.o.d"
+  "/root/repo/src/sim/decoded.cc" "src/CMakeFiles/lbp.dir/sim/decoded.cc.o" "gcc" "src/CMakeFiles/lbp.dir/sim/decoded.cc.o.d"
   "/root/repo/src/sim/loop_buffer.cc" "src/CMakeFiles/lbp.dir/sim/loop_buffer.cc.o" "gcc" "src/CMakeFiles/lbp.dir/sim/loop_buffer.cc.o.d"
   "/root/repo/src/sim/vliw_sim.cc" "src/CMakeFiles/lbp.dir/sim/vliw_sim.cc.o" "gcc" "src/CMakeFiles/lbp.dir/sim/vliw_sim.cc.o.d"
+  "/root/repo/src/sim/vliw_sim_decoded.cc" "src/CMakeFiles/lbp.dir/sim/vliw_sim_decoded.cc.o" "gcc" "src/CMakeFiles/lbp.dir/sim/vliw_sim_decoded.cc.o.d"
   "/root/repo/src/support/logging.cc" "src/CMakeFiles/lbp.dir/support/logging.cc.o" "gcc" "src/CMakeFiles/lbp.dir/support/logging.cc.o.d"
   "/root/repo/src/support/random.cc" "src/CMakeFiles/lbp.dir/support/random.cc.o" "gcc" "src/CMakeFiles/lbp.dir/support/random.cc.o.d"
   "/root/repo/src/support/stats.cc" "src/CMakeFiles/lbp.dir/support/stats.cc.o" "gcc" "src/CMakeFiles/lbp.dir/support/stats.cc.o.d"
+  "/root/repo/src/support/thread_pool.cc" "src/CMakeFiles/lbp.dir/support/thread_pool.cc.o" "gcc" "src/CMakeFiles/lbp.dir/support/thread_pool.cc.o.d"
   "/root/repo/src/transform/branch_combine.cc" "src/CMakeFiles/lbp.dir/transform/branch_combine.cc.o" "gcc" "src/CMakeFiles/lbp.dir/transform/branch_combine.cc.o.d"
   "/root/repo/src/transform/classic_opts.cc" "src/CMakeFiles/lbp.dir/transform/classic_opts.cc.o" "gcc" "src/CMakeFiles/lbp.dir/transform/classic_opts.cc.o.d"
   "/root/repo/src/transform/counted_loop.cc" "src/CMakeFiles/lbp.dir/transform/counted_loop.cc.o" "gcc" "src/CMakeFiles/lbp.dir/transform/counted_loop.cc.o.d"

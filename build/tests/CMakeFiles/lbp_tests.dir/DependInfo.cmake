@@ -16,6 +16,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_counted_loop.cc" "tests/CMakeFiles/lbp_tests.dir/test_counted_loop.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_counted_loop.cc.o.d"
   "/root/repo/tests/test_differential.cc" "tests/CMakeFiles/lbp_tests.dir/test_differential.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_differential.cc.o.d"
   "/root/repo/tests/test_end_to_end.cc" "tests/CMakeFiles/lbp_tests.dir/test_end_to_end.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_end_to_end.cc.o.d"
+  "/root/repo/tests/test_engine_differential.cc" "tests/CMakeFiles/lbp_tests.dir/test_engine_differential.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_engine_differential.cc.o.d"
   "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/lbp_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_extensions.cc.o.d"
   "/root/repo/tests/test_if_convert.cc" "tests/CMakeFiles/lbp_tests.dir/test_if_convert.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_if_convert.cc.o.d"
   "/root/repo/tests/test_inliner.cc" "tests/CMakeFiles/lbp_tests.dir/test_inliner.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_inliner.cc.o.d"

@@ -53,12 +53,12 @@ main(int argc, char **argv)
                     size, 100.0 * st.bufferFraction());
         std::printf("%-30s %5s %5s %6s %9s/%s\n", "loop", "ops",
                     "addr", "recs", "buffered", "total");
-        for (const auto &[key, ls] : st.loops) {
+        for (const LoopStats *ls : st.activeLoops()) {
             std::printf("%-30s %5d %5d %6llu %9llu/%llu\n",
-                        ls.name.c_str(), ls.imageOps, ls.bufAddr,
-                        (unsigned long long)ls.recordings,
-                        (unsigned long long)ls.bufferIterations,
-                        (unsigned long long)ls.iterations);
+                        ls->name.c_str(), ls->imageOps, ls->bufAddr,
+                        (unsigned long long)ls->recordings,
+                        (unsigned long long)ls->bufferIterations,
+                        (unsigned long long)ls->iterations);
         }
         std::printf("\n");
     }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full local check: configure Release (-O2), build, run the tier-1
+# test suite (perf-labeled smoke excluded for speed), then the engine
+# differential and the fast-path bench smoke (which re-verifies
+# decoded-vs-reference equivalence on every sweep point it times).
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-check)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${1:-build-check}
+
+cmake -B "$BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG"
+cmake --build "$BUILD" -j "$(nproc)"
+
+# Tier-1: everything except the perf-labeled bench smoke.
+ctest --test-dir "$BUILD" --output-on-failure -LE perf
+
+# Engine differential: decoded fast path vs reference interpreter.
+"$BUILD"/tests/lbp_tests --gtest_filter='*EngineDifferential*' \
+    --gtest_brief=1
+
+# Bench smoke (the ctest `perf` label), quick sweep + JSON emission.
+"$BUILD"/bench/bench_sim_fastpath --quick \
+    --json="$BUILD"/BENCH_sim_fastpath_smoke.json
+
+echo "check.sh: all checks passed"

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Predecoded execution image for the VLIW simulator's fast path.
+ *
+ * The reference interpreter re-resolves every operand kind through a
+ * switch, chases the SchedOp/Operation vector-of-vectors layout, and
+ * re-derives loop metadata on every activation. The predecode pass
+ * lowers a SchedProgram once into flat, contiguous arrays:
+ *
+ *  - operands resolved to direct register / immediate / predicate
+ *    slots (XSrc), validated against frame sizes at decode time so
+ *    the executor needs no per-read range checks;
+ *  - one POD MicroOp per real (non-NOP) operation, bundle extents as
+ *    index ranges into one dense per-function op array;
+ *  - loop-carrying ops (REC/EXEC) annotated with their interned dense
+ *    loop id and static body metadata (length, II, image size);
+ *  - variable-length CALL/RET operand lists spilled to side arrays.
+ *
+ * The LoopTable interns every static LoopKey to a dense integer id in
+ * LoopKey sort order, which turns SimStats.loops into a flat vector
+ * whose index order matches the iteration order of the old
+ * std::map<LoopKey, LoopStats>.
+ */
+
+#ifndef LBP_SIM_DECODED_HH
+#define LBP_SIM_DECODED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/vliw_sim.hh"
+
+namespace lbp
+{
+
+/**
+ * Dense interning of every static REC/EXEC loop in a SchedProgram.
+ * Ids are positions in the LoopKey sort order.
+ */
+struct LoopTable
+{
+    std::vector<LoopKey> keys;        ///< sorted; index = dense id
+    std::vector<LoopStats> proto;     ///< prefilled static fields
+
+    /** Dense id of @p key; fatal if the key is unknown. */
+    int idOf(const LoopKey &key) const;
+};
+
+/** Build the loop table by scanning all scheduled REC/EXEC ops. */
+LoopTable buildLoopTable(const SchedProgram &code);
+
+/** A resolved source operand. */
+struct XSrc
+{
+    enum Kind : std::uint8_t { REG, IMM, PRED };
+    Kind kind = IMM;
+    std::uint32_t idx = 0;     ///< register / predicate index
+    std::int64_t imm = 0;      ///< immediate payload
+};
+
+/** One predecoded operation (POD, fixed size). */
+struct MicroOp
+{
+    Opcode op = Opcode::NOP;
+    CmpCond cond = CmpCond::EQ;
+    PredDefKind k0 = PredDefKind::NONE;
+    PredDefKind k1 = PredDefKind::NONE;
+
+    std::int8_t slot = kNoSlot;
+    bool sensitive = false;
+    bool speculative = false;
+    bool counted = false;       ///< REC/EXEC: counted loop
+    bool pipelined = false;     ///< REC/EXEC: body is modulo-scheduled
+
+    PredId guard = kNoPred;
+    std::int32_t dstReg = -1;   ///< primary register destination
+
+    /** PRED_DEF destinations: 0 = none, 1 = predicate, 2 = slot. */
+    std::uint8_t pdKind0 = 0, pdKind1 = 0;
+    std::int32_t pdIdx0 = 0, pdIdx1 = 0;
+
+    XSrc src[3];
+
+    BlockId target = kNoBlock;
+    FuncId callee = kNoFunc;
+    std::int32_t bufAddr = -1;
+
+    // REC/EXEC static loop metadata.
+    std::int32_t loopId = -1;
+    std::int32_t bodyLen = 0;
+    std::int32_t ii = 0;
+    std::int32_t imageOps = 0;
+
+    // CALL argument / RET value list (XSrc) in extraSrcs.
+    std::uint32_t xsrcBegin = 0, xsrcCount = 0;
+    // CALL return-register list in extraDsts.
+    std::uint32_t xdstBegin = 0, xdstCount = 0;
+};
+
+/** Bundle extent in the per-function MicroOp array. */
+struct DecodedBundle
+{
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+    std::int32_t sizeOps = 0;   ///< fetch size (compressed encoding)
+};
+
+/** Block extent in the per-function bundle array. */
+struct DecodedBlock
+{
+    std::uint32_t firstBundle = 0;
+    std::uint32_t bundleCount = 0;
+    BlockId fallthrough = kNoBlock;
+    bool valid = false;         ///< scheduled and alive
+};
+
+/** Decoded form of one function. */
+struct DecodedFunction
+{
+    std::vector<MicroOp> ops;         ///< dense, NOP-free
+    std::vector<DecodedBundle> bundles;
+    std::vector<DecodedBlock> blocks; ///< indexed by BlockId
+    BlockId entry = kNoBlock;
+    std::uint32_t numRegs = 0;
+    std::uint32_t numPreds = 1;
+    std::vector<RegId> params;
+    std::uint32_t numReturns = 0;
+    const Function *fn = nullptr;     ///< for diagnostics only
+};
+
+/** Decoded form of a program. */
+struct DecodedProgram
+{
+    const SchedProgram *code = nullptr;
+    std::vector<DecodedFunction> functions;
+    std::vector<XSrc> extraSrcs;
+    std::vector<std::int32_t> extraDsts;
+};
+
+/**
+ * Predecode @p code. The pass validates what the reference
+ * interpreter asserts per-access (operand ranges, slot assignment of
+ * sensitive ops, one control transfer shape) so the executor can run
+ * without those checks. @p loops must be the table built from the
+ * same (re-linked) SchedProgram.
+ */
+DecodedProgram decodeProgram(const SchedProgram &code,
+                             const LoopTable &loops);
+
+} // namespace lbp
+
+#endif // LBP_SIM_DECODED_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ir/interpreter.hh"
+#include "sim/decoded.hh"
 #include "support/logging.hh"
 
 namespace lbp
@@ -39,8 +40,14 @@ VliwSim::VliwSim(const SchedProgram &code, const SimConfig &cfg)
     : code_(code), cfg_(cfg), buffer_(cfg.bufferOps)
 {
     LBP_ASSERT(code_.ir != nullptr, "SchedProgram without IR link");
+    loopTable_ = std::make_unique<LoopTable>(buildLoopTable(code_));
+    if (cfg_.engine == SimEngine::DECODED)
+        decoded_ = std::make_unique<DecodedProgram>(
+            decodeProgram(code_, *loopTable_));
     slotPred_.fill(1);
 }
+
+VliwSim::~VliwSim() = default;
 
 std::int64_t
 VliwSim::readOperand(const Frame &fr, const Operand &o) const
@@ -79,12 +86,15 @@ VliwSim::run(const std::vector<std::int64_t> &args)
     const Program &prog = *code_.ir;
     mem_ = prog.memory;
     stats_ = SimStats{};
+    stats_.loops = loopTable_->proto;
     bundlesExecuted_ = 0;
     callDepth_ = 0;
     buffer_.clear();
     slotPred_.fill(1);
 
-    auto rets = callFunction(prog.entryFunc, args);
+    auto rets = cfg_.engine == SimEngine::DECODED
+                    ? callFunctionDecoded(prog.entryFunc, args)
+                    : callFunction(prog.entryFunc, args);
     stats_.returns = std::move(rets);
     if (prog.checksumSize > 0) {
         stats_.checksum = fnv1a(mem_.data() + prog.checksumBase,
@@ -126,7 +136,7 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
      * roll per-loop statistics.
      */
     auto retireLoop = [&](LoopCtx &ctx) {
-        LoopStats &ls = stats_.loops[ctx.key];
+        LoopStats &ls = stats_.loops[ctx.loopId];
         ls.iterations += ctx.iterations;
         if (ctx.pipelined && ctx.fromBuffer && ctx.iterations > 1) {
             const std::uint64_t save =
@@ -351,7 +361,8 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
                         LoopCtx &ctx = loopStack.back();
                         ++ctx.iterations;
                         if (ctx.fromBuffer) {
-                            ++stats_.loops[ctx.key].bufferIterations;
+                            ++stats_.loops[ctx.loopId]
+                                  .bufferIterations;
                         }
                         // Loop-backs of buffered loops are free (the
                         // buffer predicts them taken while looping).
@@ -370,7 +381,7 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
                     loopStack.pop_back();
                     ++ctx.iterations;
                     if (ctx.fromBuffer) {
-                        ++stats_.loops[ctx.key].bufferIterations;
+                        ++stats_.loops[ctx.loopId].bufferIterations;
                         stats_.branchPenaltyCycles +=
                             cfg_.branchPenalty;
                         stats_.cycles += cfg_.branchPenalty;
@@ -398,7 +409,7 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
                 LoopCtx &ctx = loopStack.back();
                 ++ctx.iterations;
                 if (ctx.fromBuffer)
-                    ++stats_.loops[ctx.key].bufferIterations;
+                    ++stats_.loops[ctx.loopId].bufferIterations;
                 --ctx.remaining;
                 if (ctx.remaining > 0) {
                     ++stats_.branchesTaken;
@@ -430,6 +441,7 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
               case Opcode::EXEC_WLOOP: {
                 LoopCtx ctx;
                 ctx.key = {f, op.id};
+                ctx.loopId = loopTable_->idOf(ctx.key);
                 ctx.counted = op.op == Opcode::REC_CLOOP ||
                               op.op == Opcode::EXEC_CLOOP;
                 if (ctx.counted) {
@@ -443,13 +455,7 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
                 ctx.bodyLen = body.lengthCycles();
                 ctx.ii = body.ii;
                 ctx.buffered = op.bufAddr >= 0;
-                LoopStats &ls = stats_.loops[ctx.key];
-                if (ls.activations == 0) {
-                    ls.name = fn.name + "/" +
-                              fn.blocks[op.target].name;
-                    ls.imageOps = body.imageOps();
-                    ls.bufAddr = op.bufAddr;
-                }
+                LoopStats &ls = stats_.loops[ctx.loopId];
                 ++ls.activations;
                 if (ctx.buffered) {
                     if (buffer_.isResident(ctx.key)) {

@@ -27,7 +27,7 @@
 #define LBP_SIM_VLIW_SIM_HH
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <vector>
 
 #include "sched/schedule.hh"
@@ -43,9 +43,25 @@ enum class PredMode
     SLOT,
 };
 
+/**
+ * Execution engine selector.
+ *
+ * REFERENCE is the original switch-dispatched interpreter walking the
+ * SchedProgram directly; DECODED runs the same semantics over a
+ * one-time predecoded dense micro-op image (operands resolved, loop
+ * keys interned). The two are differentially tested to produce
+ * bit-identical SimStats.
+ */
+enum class SimEngine
+{
+    REFERENCE,
+    DECODED,
+};
+
 /** Per-loop execution statistics (drives the Figure 5 traces). */
 struct LoopStats
 {
+    LoopKey key;
     std::string name;
     int imageOps = 0;
     int bufAddr = -1;
@@ -53,6 +69,16 @@ struct LoopStats
     std::uint64_t recordings = 0;
     std::uint64_t iterations = 0;
     std::uint64_t bufferIterations = 0;
+
+    bool operator==(const LoopStats &o) const
+    {
+        return key == o.key && name == o.name &&
+               imageOps == o.imageOps && bufAddr == o.bufAddr &&
+               activations == o.activations &&
+               recordings == o.recordings &&
+               iterations == o.iterations &&
+               bufferIterations == o.bufferIterations;
+    }
 };
 
 /** Aggregate execution statistics. */
@@ -70,7 +96,23 @@ struct SimStats
     std::uint64_t checksum = 0;
     std::vector<std::int64_t> returns;
 
-    std::map<LoopKey, LoopStats> loops;
+    /**
+     * Per-loop statistics, indexed by dense loop id. Ids are assigned
+     * by sorting the static REC/EXEC LoopKeys, so index order equals
+     * the LoopKey order the old std::map iterated in. Entries exist
+     * for every static loop; use activeLoops() for the ones that ran.
+     */
+    std::vector<LoopStats> loops;
+
+    /** The loops with at least one activation, in LoopKey order. */
+    std::vector<const LoopStats *> activeLoops() const
+    {
+        std::vector<const LoopStats *> out;
+        for (const auto &ls : loops)
+            if (ls.activations > 0)
+                out.push_back(&ls);
+        return out;
+    }
 
     double bufferFraction() const
     {
@@ -94,13 +136,23 @@ struct SimConfig
     PredMode predMode = PredMode::SLOT;
     int branchPenalty = 4;
     std::uint64_t maxBundles = 4'000'000'000ull;
+
+    /**
+     * DECODED is the production fast path; REFERENCE is kept as the
+     * differential-testing oracle (bit-identical stats guaranteed).
+     */
+    SimEngine engine = SimEngine::DECODED;
 };
+
+struct DecodedProgram;
+struct LoopTable;
 
 /** The simulator. */
 class VliwSim
 {
   public:
     VliwSim(const SchedProgram &code, const SimConfig &cfg);
+    ~VliwSim();
 
     /** Run the program's entry function; memory is re-imaged. */
     SimStats run(const std::vector<std::int64_t> &args = {});
@@ -119,6 +171,7 @@ class VliwSim
     struct LoopCtx
     {
         LoopKey key;
+        int loopId = -1;          ///< dense id into SimStats.loops
         bool counted = false;
         std::int64_t remaining = 0;
         BlockId head = kNoBlock;
@@ -138,6 +191,10 @@ class VliwSim
                                            const std::vector<std::int64_t>
                                                &args);
 
+    /** Decoded fast-path twin of callFunction (vliw_sim_decoded.cc). */
+    std::vector<std::int64_t> callFunctionDecoded(
+        FuncId f, const std::vector<std::int64_t> &args);
+
     std::int64_t readOperand(const Frame &fr, const Operand &o) const;
     bool opExecutes(const Frame &fr, const Operation &op,
                     int slot) const;
@@ -149,6 +206,12 @@ class VliwSim
     SimStats stats_;
     std::uint64_t bundlesExecuted_ = 0;
     int callDepth_ = 0;
+
+    /** Static loop-id interning shared by both engines. */
+    std::unique_ptr<LoopTable> loopTable_;
+
+    /** Predecoded image (built when cfg.engine == DECODED). */
+    std::unique_ptr<DecodedProgram> decoded_;
 
     /** Slot standing predicates (physical machine state). */
     std::array<std::uint8_t, Machine::width> slotPred_;

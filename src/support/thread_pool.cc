@@ -1,0 +1,74 @@
+#include "support/thread_pool.hh"
+
+#include <algorithm>
+
+namespace lbp
+{
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads <= 0) {
+        threads = static_cast<int>(std::thread::hardware_concurrency());
+    }
+    threads = std::max(threads, 1);
+    workers_.reserve(threads);
+    for (int i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cvWork_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(job));
+    }
+    cvWork_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cvIdle_.wait(lock,
+                 [this] { return queue_.empty() && active_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cvWork_.wait(lock,
+                         [this] { return stop_ || !queue_.empty(); });
+            if (stop_ && queue_.empty())
+                return;
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --active_;
+            if (queue_.empty() && active_ == 0)
+                cvIdle_.notify_all();
+        }
+    }
+}
+
+} // namespace lbp

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A small fixed-size worker pool for embarrassingly parallel sweeps.
+ *
+ * The bench harness uses it to run independent simulation points
+ * concurrently: jobs are plain closures, submitted from one thread
+ * and drained FIFO by the workers. wait() blocks until every
+ * submitted job has finished, so a sweep can be staged in rounds
+ * (e.g. all points of one workload, then its reporting).
+ */
+
+#ifndef LBP_SUPPORT_THREAD_POOL_HH
+#define LBP_SUPPORT_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lbp
+{
+
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p threads workers; 0 means one per hardware thread
+     * (at least one either way).
+     */
+    explicit ThreadPool(int threads = 0);
+
+    /** Drains outstanding work, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int threadCount() const
+    { return static_cast<int>(workers_.size()); }
+
+    /** Enqueue a job. Safe from any thread, including workers. */
+    void submit(std::function<void()> job);
+
+    /**
+     * Block until the queue is empty and no job is in flight. Jobs
+     * submitted while waiting (e.g. by other jobs) are waited on too.
+     */
+    void wait();
+
+  private:
+    void workerLoop();
+
+    std::mutex mu_;
+    std::condition_variable cvWork_;   // workers: queue non-empty/stop
+    std::condition_variable cvIdle_;   // waiters: all drained
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    int active_ = 0;                   // jobs currently executing
+    bool stop_ = false;
+};
+
+} // namespace lbp
+
+#endif // LBP_SUPPORT_THREAD_POOL_HH

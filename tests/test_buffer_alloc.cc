@@ -146,11 +146,11 @@ TEST(BufferAlloc, HotterLoopWinsContention)
     // The hot loop must dominate buffered issue; with the cold loop
     // overlapping it, evictions happen but hot iterations dominate.
     std::uint64_t hotBuf = 0, coldBuf = 0;
-    for (const auto &[k, ls] : st.loops) {
-        if (ls.iterations > 400)
-            hotBuf = ls.bufferIterations;
+    for (const LoopStats *ls : st.activeLoops()) {
+        if (ls->iterations > 400)
+            hotBuf = ls->bufferIterations;
         else
-            coldBuf = ls.bufferIterations;
+            coldBuf = ls->bufferIterations;
     }
     EXPECT_GT(hotBuf, 900u);
     (void)coldBuf;

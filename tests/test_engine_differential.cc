@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Engine differential: the decoded fast-path executor must be
+ * behaviorally indistinguishable from the reference interpreter —
+ * every field of SimStats, including the per-loop counter vectors —
+ * for every registry workload, under both predication
+ * micro-architectures, at several buffer sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/compiler.hh"
+#include "sim/vliw_sim.hh"
+#include "workloads/registry.hh"
+
+namespace lbp
+{
+namespace
+{
+
+void
+expectIdentical(const SimStats &ref, const SimStats &dec,
+                const std::string &what)
+{
+    EXPECT_EQ(ref.cycles, dec.cycles) << what;
+    EXPECT_EQ(ref.bundles, dec.bundles) << what;
+    EXPECT_EQ(ref.opsFetched, dec.opsFetched) << what;
+    EXPECT_EQ(ref.opsFromBuffer, dec.opsFromBuffer) << what;
+    EXPECT_EQ(ref.opsNullified, dec.opsNullified) << what;
+    EXPECT_EQ(ref.opsSensitive, dec.opsSensitive) << what;
+    EXPECT_EQ(ref.branches, dec.branches) << what;
+    EXPECT_EQ(ref.branchesTaken, dec.branchesTaken) << what;
+    EXPECT_EQ(ref.branchPenaltyCycles, dec.branchPenaltyCycles)
+        << what;
+    EXPECT_EQ(ref.checksum, dec.checksum) << what;
+    EXPECT_EQ(ref.returns, dec.returns) << what;
+    ASSERT_EQ(ref.loops.size(), dec.loops.size()) << what;
+    for (std::size_t i = 0; i < ref.loops.size(); ++i)
+        EXPECT_TRUE(ref.loops[i] == dec.loops[i])
+            << what << " loop " << i << " (" << ref.loops[i].name
+            << ")";
+}
+
+class EngineDifferential
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EngineDifferential, DecodedMatchesReference)
+{
+    Program prog = workloads::buildWorkload(GetParam());
+
+    for (OptLevel lvl : {OptLevel::Traditional, OptLevel::Aggressive}) {
+        for (PredMode mode : {PredMode::REGISTER, PredMode::SLOT}) {
+            // REGISTER-mode simulation needs slot lowering off (the
+            // two predication micro-architectures are exclusive).
+            CompileOptions opts;
+            opts.level = lvl;
+            opts.slotLowering = mode == PredMode::SLOT;
+            CompileResult cr;
+            compileProgram(prog, opts, cr);
+            for (int size : {32, 256, 1024}) {
+                reallocateBuffers(cr, size);
+                SimConfig sc;
+                sc.bufferOps = size;
+                sc.predMode = mode;
+                sc.engine = SimEngine::REFERENCE;
+                const SimStats ref = VliwSim(cr.code, sc).run();
+                sc.engine = SimEngine::DECODED;
+                const SimStats dec = VliwSim(cr.code, sc).run();
+                EXPECT_EQ(ref.checksum, cr.goldenChecksum);
+                expectIdentical(
+                    ref, dec,
+                    GetParam() + " level=" +
+                        (lvl == OptLevel::Aggressive ? "aggr"
+                                                     : "trad") +
+                        " mode=" +
+                        (mode == PredMode::SLOT ? "slot" : "reg") +
+                        " size=" + std::to_string(size));
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, EngineDifferential,
+    ::testing::ValuesIn([] {
+        std::vector<std::string> names;
+        for (const auto &w : workloads::allWorkloads())
+            names.push_back(w.name);
+        return names;
+    }()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace
+} // namespace lbp

@@ -79,8 +79,8 @@ TEST(Sim, BufferedLoopFetchesFromBuffer)
     const auto st = sim.run();
     // Recording iteration from memory; the other 99 from the buffer.
     EXPECT_GT(st.bufferFraction(), 0.9);
-    ASSERT_EQ(st.loops.size(), 1u);
-    const LoopStats &ls = st.loops.begin()->second;
+    ASSERT_EQ(st.activeLoops().size(), 1u);
+    const LoopStats &ls = *st.activeLoops().front();
     EXPECT_EQ(ls.iterations, 100u);
     EXPECT_EQ(ls.recordings, 1u);
     EXPECT_EQ(ls.bufferIterations, 99u);
