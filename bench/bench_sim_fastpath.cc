@@ -30,10 +30,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hh"
+#include "obs/json.hh"
 #include "support/logging.hh"
 #include "support/thread_pool.hh"
 
@@ -124,52 +127,89 @@ runFastTask(const SweepTask &t, std::vector<SweepPoint> &points,
 
 void
 writeJson(const std::string &path,
+          const std::vector<std::string> &names,
+          const std::vector<int> &sizes,
           const std::vector<SweepTask> &tasks,
           const std::vector<SweepPoint> &points, double refWallMs,
           double fastWallMs, double refSimMs, double fastSimMs,
           int threads, bool quick)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f) {
+    using obs::Json;
+
+    Json doc = Json::object();
+    // Schema history:
+    //   1  ad-hoc fprintf layout (bench/quick/threads/points)
+    //   2  obs::Json emitter; adds "machine" and "config" blocks
+    doc.set("schema_version", Json::integer(2));
+    doc.set("bench", Json::str("sim_fastpath"));
+
+    Json machine = Json::object();
+    machine.set("hardware_concurrency",
+                Json::integer(std::thread::hardware_concurrency()));
+    machine.set("compiler", Json::str(__VERSION__));
+    machine.set("pointer_bits",
+                Json::integer(8 * sizeof(void *)));
+    doc.set("machine", machine);
+
+    Json config = Json::object();
+    config.set("quick", Json::boolean(quick));
+    config.set("threads", Json::integer(threads));
+    Json wl = Json::array();
+    for (const auto &n : names)
+        wl.push(Json::str(n));
+    config.set("workloads", wl);
+    Json bs = Json::array();
+    for (int s : sizes)
+        bs.push(Json::integer(s));
+    config.set("buffer_sizes", bs);
+    doc.set("config", config);
+
+    Json refPath = Json::object();
+    refPath.set("description",
+                Json::str("fresh compile per point, reference "
+                          "engine, serial"));
+    refPath.set("wallMs", Json::number(refWallMs));
+    doc.set("referencePath", refPath);
+
+    Json fastPath = Json::object();
+    fastPath.set("description",
+                 Json::str("cached compile, decoded engine, thread "
+                           "pool"));
+    fastPath.set("wallMs", Json::number(fastWallMs));
+    doc.set("fastPath", fastPath);
+
+    doc.set("speedup", Json::number(refWallMs / fastWallMs));
+
+    Json simOnly = Json::object();
+    simOnly.set("referenceMs", Json::number(refSimMs));
+    simOnly.set("decodedMs", Json::number(fastSimMs));
+    simOnly.set("speedup", Json::number(refSimMs / fastSimMs));
+    doc.set("simOnly", simOnly);
+
+    Json pts = Json::array();
+    for (const SweepPoint &p : points) {
+        const SweepTask &t = tasks[p.task];
+        Json row = Json::object();
+        row.set("workload", Json::str(t.workload));
+        row.set("level", Json::str(levelName(t.level)));
+        row.set("predMode", Json::str(modeName(t.mode)));
+        row.set("bufferOps", Json::integer(p.bufferOps));
+        row.set("cycles", Json::uinteger(p.cycles));
+        row.set("bufferFraction", Json::number(p.bufferFraction));
+        row.set("referenceMs", Json::number(p.refMs));
+        row.set("fastMs", Json::number(p.fastMs));
+        pts.push(row);
+    }
+    doc.set("points", pts);
+
+    std::ofstream os(path);
+    if (!os) {
         std::fprintf(stderr, "cannot open %s for writing\n",
                      path.c_str());
         std::exit(1);
     }
-    std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"bench\": \"sim_fastpath\",\n");
-    std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
-    std::fprintf(f, "  \"threads\": %d,\n", threads);
-    std::fprintf(f,
-                 "  \"referencePath\": {\"description\": \"fresh "
-                 "compile per point, reference engine, serial\", "
-                 "\"wallMs\": %.3f},\n",
-                 refWallMs);
-    std::fprintf(f,
-                 "  \"fastPath\": {\"description\": \"cached compile, "
-                 "decoded engine, thread pool\", \"wallMs\": %.3f},\n",
-                 fastWallMs);
-    std::fprintf(f, "  \"speedup\": %.3f,\n", refWallMs / fastWallMs);
-    std::fprintf(f,
-                 "  \"simOnly\": {\"referenceMs\": %.3f, "
-                 "\"decodedMs\": %.3f, \"speedup\": %.3f},\n",
-                 refSimMs, fastSimMs, refSimMs / fastSimMs);
-    std::fprintf(f, "  \"points\": [\n");
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        const SweepPoint &p = points[i];
-        const SweepTask &t = tasks[p.task];
-        std::fprintf(
-            f,
-            "    {\"workload\": \"%s\", \"level\": \"%s\", "
-            "\"predMode\": \"%s\", \"bufferOps\": %d, "
-            "\"cycles\": %llu, \"bufferFraction\": %.6f, "
-            "\"referenceMs\": %.3f, \"fastMs\": %.3f}%s\n",
-            t.workload.c_str(), levelName(t.level), modeName(t.mode),
-            p.bufferOps, (unsigned long long)p.cycles,
-            p.bufferFraction, p.refMs, p.fastMs,
-            i + 1 < points.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+    doc.write(os);
+    os << "\n";
     std::printf("wrote %s\n", path.c_str());
 }
 
@@ -323,7 +363,8 @@ main(int argc, char **argv)
                 points.size());
 
     if (json)
-        writeJson(jsonPath, tasks, points, refWallMs, fastWallMs,
-                  refSimMs, fastSimMs, pool.threadCount(), quick);
+        writeJson(jsonPath, names, sizes, tasks, points, refWallMs,
+                  fastWallMs, refSimMs, fastSimMs,
+                  pool.threadCount(), quick);
     return 0;
 }

@@ -3,6 +3,10 @@
 # test suite (perf-labeled smoke excluded for speed), then the engine
 # differential and the fast-path bench smoke (which re-verifies
 # decoded-vs-reference equivalence on every sweep point it times).
+# Finishes with an ASan+UBSan build running the observability surface
+# (obs-labeled tests + a traced workload through lbp_stats), since the
+# trace ring and JSON parser are exactly the kind of index-arithmetic
+# code sanitizers pay for.
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-check)
 
@@ -10,6 +14,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD=${1:-build-check}
+SAN_BUILD="$BUILD-asan"
 
 cmake -B "$BUILD" -S . \
     -DCMAKE_BUILD_TYPE=Release \
@@ -26,5 +31,22 @@ ctest --test-dir "$BUILD" --output-on-failure -LE perf
 # Bench smoke (the ctest `perf` label), quick sweep + JSON emission.
 "$BUILD"/bench/bench_sim_fastpath --quick \
     --json="$BUILD"/BENCH_sim_fastpath_smoke.json
+
+# Sanitizer pass: ASan + UBSan over the observability surface. Debug
+# (-O1) keeps stacks honest while staying fast enough for the smoke.
+cmake -B "$SAN_BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-O1 -g -fsanitize=address,undefined \
+-fno-sanitize-recover=all -fno-omit-frame-pointer"
+cmake --build "$SAN_BUILD" -j "$(nproc)" \
+    --target lbp_obs_tests lbp_stats
+ctest --test-dir "$SAN_BUILD" --output-on-failure -L obs
+"$SAN_BUILD"/tools/lbp_stats trace adpcm_dec \
+    --out="$SAN_BUILD"/adpcm_dec.trace.json
+"$SAN_BUILD"/tools/lbp_stats run adpcm_dec \
+    --json="$SAN_BUILD"/adpcm_dec.stats.json >/dev/null
+"$SAN_BUILD"/tools/lbp_stats diff \
+    "$SAN_BUILD"/adpcm_dec.stats.json \
+    "$SAN_BUILD"/adpcm_dec.stats.json
 
 echo "check.sh: all checks passed"

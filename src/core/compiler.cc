@@ -2,6 +2,8 @@
 
 #include "ir/interpreter.hh"
 #include "ir/verifier.hh"
+#include "obs/phase_timer.hh"
+#include "obs/registry.hh"
 #include "sched/list_scheduler.hh"
 #include "sched/modulo_scheduler.hh"
 #include "support/logging.hh"
@@ -48,140 +50,206 @@ void
 compileProgram(const Program &input, const CompileOptions &opts,
                CompileResult &out)
 {
+    obs::Registry *const reg = opts.obsRegistry;
+    obs::ScopedPhase total(reg, "compile.total");
+
     out.ir = input;
     Program &prog = out.ir;
     out.originalOps = prog.sizeOps();
     verifyOrDie(prog);
 
+    // Each stage is bracketed by a ScopedPhase: elapsed wall time
+    // lands in "compile.phase.<NN_stage>.ms" and the static op-count
+    // delta in ".ops_before/.ops_after/.ops_delta". The numeric
+    // prefix keeps the registry's name order equal to pipeline order.
+    auto phase = [&](const char *name) {
+        return obs::ScopedPhase(reg,
+                                std::string("compile.phase.") + name,
+                                prog.sizeOps());
+    };
+
     // 1. Profile + golden checksum.
-    auto run0 = profileProgram(prog, opts.profileArgs);
+    const ProfiledRun run0 = [&] {
+        auto ph = phase("01_profile");
+        return profileProgram(prog, opts.profileArgs);
+    }();
     out.goldenChecksum = run0.result.checksum;
 
     // 2. Profile-guided inlining (<= 50% expansion, per the paper).
     if (opts.doInline) {
+        auto ph = phase("02_inline");
         out.inlineStats = inlineHotCalls(prog, run0.profile);
         verifyOrDie(prog);
         checkStage(prog, opts, out.goldenChecksum, "inline");
+        ph.finishOps(prog.sizeOps());
     }
 
     // 3. Classic optimization + height reduction (reassociation is
     //    part of the paper's "traditional loop optimizations" and the
     //    Figure-2d height-reducing step).
-    optimizeProgram(prog);
-    out.reassocStats = reassociate(prog);
-    optimizeProgram(prog);
-    verifyOrDie(prog);
-    checkStage(prog, opts, out.goldenChecksum, "classic-opts");
+    {
+        auto ph = phase("03_classic_opts");
+        optimizeProgram(prog);
+        out.reassocStats = reassociate(prog);
+        optimizeProgram(prog);
+        verifyOrDie(prog);
+        checkStage(prog, opts, out.goldenChecksum, "classic-opts");
+        ph.finishOps(prog.sizeOps());
+    }
 
     // 4. Control transformations (Aggressive only).
     if (opts.level == OptLevel::Aggressive) {
-        out.peelStats = peelLoops(prog);
-        verifyOrDie(prog);
-        checkStage(prog, opts, out.goldenChecksum, "peel");
+        {
+            auto ph = phase("04_peel");
+            out.peelStats = peelLoops(prog);
+            verifyOrDie(prog);
+            checkStage(prog, opts, out.goldenChecksum, "peel");
+            ph.finishOps(prog.sizeOps());
+        }
 
         VerifyOptions hyperOk;
         hyperOk.allowInternalBranches = true;
 
-        out.ifConvertStats = ifConvertLoops(prog);
-        verifyOrDie(prog, hyperOk);
-        checkStage(prog, opts, out.goldenChecksum, "if-convert");
+        {
+            auto ph = phase("05_if_convert");
+            out.ifConvertStats = ifConvertLoops(prog);
+            verifyOrDie(prog, hyperOk);
+            checkStage(prog, opts, out.goldenChecksum, "if-convert");
+            ph.finishOps(prog.sizeOps());
+        }
 
-        out.collapseStats = collapseLoops(prog);
-        verifyOrDie(prog, hyperOk);
-        checkStage(prog, opts, out.goldenChecksum, "collapse");
+        {
+            auto ph = phase("06_collapse");
+            out.collapseStats = collapseLoops(prog);
+            verifyOrDie(prog, hyperOk);
+            checkStage(prog, opts, out.goldenChecksum, "collapse");
+            ph.finishOps(prog.sizeOps());
+        }
 
         // Collapsing can expose newly-childless outer loops.
         {
+            auto ph = phase("07_if_convert2");
             auto s2 = ifConvertLoops(prog);
             out.ifConvertStats.loopsConverted += s2.loopsConverted;
             out.ifConvertStats.blocksMerged += s2.blocksMerged;
             out.ifConvertStats.predDefsInserted += s2.predDefsInserted;
             out.ifConvertStats.sideExits += s2.sideExits;
+            verifyOrDie(prog, hyperOk);
+            checkStage(prog, opts, out.goldenChecksum, "if-convert-2");
+            ph.finishOps(prog.sizeOps());
         }
-        verifyOrDie(prog, hyperOk);
-        checkStage(prog, opts, out.goldenChecksum, "if-convert-2");
 
-        out.branchCombineStats = combineBranches(prog);
-        verifyOrDie(prog, hyperOk);
-        checkStage(prog, opts, out.goldenChecksum, "branch-combine");
-
-        out.promoteStats = promoteOperations(prog);
-        verifyOrDie(prog, hyperOk);
-        checkStage(prog, opts, out.goldenChecksum, "promote");
-
-        optimizeProgram(prog);
         {
-            auto r2 = reassociate(prog);
-            out.reassocStats.chainsRebalanced += r2.chainsRebalanced;
-            out.reassocStats.opsInChains += r2.opsInChains;
+            auto ph = phase("08_branch_combine");
+            out.branchCombineStats = combineBranches(prog);
+            verifyOrDie(prog, hyperOk);
+            checkStage(prog, opts, out.goldenChecksum,
+                       "branch-combine");
+            ph.finishOps(prog.sizeOps());
         }
-        optimizeProgram(prog);
-        verifyOrDie(prog, hyperOk);
-        checkStage(prog, opts, out.goldenChecksum, "classic-opts-2");
+
+        {
+            auto ph = phase("09_promote");
+            out.promoteStats = promoteOperations(prog);
+            verifyOrDie(prog, hyperOk);
+            checkStage(prog, opts, out.goldenChecksum, "promote");
+            ph.finishOps(prog.sizeOps());
+        }
+
+        {
+            auto ph = phase("10_classic_opts2");
+            optimizeProgram(prog);
+            {
+                auto r2 = reassociate(prog);
+                out.reassocStats.chainsRebalanced +=
+                    r2.chainsRebalanced;
+                out.reassocStats.opsInChains += r2.opsInChains;
+            }
+            optimizeProgram(prog);
+            verifyOrDie(prog, hyperOk);
+            checkStage(prog, opts, out.goldenChecksum,
+                       "classic-opts-2");
+            ph.finishOps(prog.sizeOps());
+        }
     }
 
     // 5. Hardware-loop conversion (both levels).
-    out.countedLoopStats = convertCountedLoops(prog);
     {
-        VerifyOptions v;
-        v.allowInternalBranches = opts.level == OptLevel::Aggressive;
-        verifyOrDie(prog, v);
+        auto ph = phase("11_counted_loop");
+        out.countedLoopStats = convertCountedLoops(prog);
+        {
+            VerifyOptions v;
+            v.allowInternalBranches =
+                opts.level == OptLevel::Aggressive;
+            verifyOrDie(prog, v);
+        }
+        checkStage(prog, opts, out.goldenChecksum, "counted-loop");
+        ph.finishOps(prog.sizeOps());
     }
-    checkStage(prog, opts, out.goldenChecksum, "counted-loop");
 
     // 6. Refresh the profile (weights drive buffer allocation).
-    auto run1 = profileProgram(prog, opts.profileArgs);
-    LBP_ASSERT(run1.result.checksum == out.goldenChecksum,
-               "final profile checksum mismatch");
-    out.transformedChecksum = run1.result.checksum;
+    {
+        auto ph = phase("12_reprofile");
+        auto run1 = profileProgram(prog, opts.profileArgs);
+        LBP_ASSERT(run1.result.checksum == out.goldenChecksum,
+                   "final profile checksum mismatch");
+        out.transformedChecksum = run1.result.checksum;
+    }
     out.finalOps = prog.sizeOps();
 
     // 7. Schedule.
-    out.code.ir = &prog;
-    out.code.functions.clear();
-    out.code.functions.resize(prog.functions.size());
-    for (const auto &fn : prog.functions) {
-        SchedFunction &sf = out.code.functions[fn.id];
-        sf.func = fn.id;
-        sf.blocks.resize(fn.blocks.size());
-        for (const auto &bb : fn.blocks) {
-            if (bb.dead)
-                continue;
-            SchedBlock sb;
-            const bool loopBody = isSimpleLoopBody(bb);
-            if (loopBody)
-                ++out.simpleLoops;
-            if (loopBody && opts.moduloSchedule) {
-                ModuloOptions mo;
-                mo.rotatingRegisters = opts.rotatingRegisters;
-                sb = moduloScheduleLoop(bb, out.machine, mo);
-                if (sb.valid) {
-                    ++out.moduloLoops;
+    {
+        auto ph = phase("13_schedule");
+        out.code.ir = &prog;
+        out.code.functions.clear();
+        out.code.functions.resize(prog.functions.size());
+        for (const auto &fn : prog.functions) {
+            SchedFunction &sf = out.code.functions[fn.id];
+            sf.func = fn.id;
+            sf.blocks.resize(fn.blocks.size());
+            for (const auto &bb : fn.blocks) {
+                if (bb.dead)
+                    continue;
+                SchedBlock sb;
+                const bool loopBody = isSimpleLoopBody(bb);
+                if (loopBody)
+                    ++out.simpleLoops;
+                if (loopBody && opts.moduloSchedule) {
+                    ModuloOptions mo;
+                    mo.rotatingRegisters = opts.rotatingRegisters;
+                    sb = moduloScheduleLoop(bb, out.machine, mo);
+                    if (sb.valid) {
+                        ++out.moduloLoops;
+                    } else {
+                        sb = listScheduleBlock(bb, out.machine);
+                        sb.isLoopBody = true;
+                    }
                 } else {
                     sb = listScheduleBlock(bb, out.machine);
-                    sb.isLoopBody = true;
+                    sb.isLoopBody = loopBody;
                 }
-            } else {
-                sb = listScheduleBlock(bb, out.machine);
-                sb.isLoopBody = loopBody;
+                sf.blocks[bb.id] = std::move(sb);
             }
-            sf.blocks[bb.id] = std::move(sb);
         }
     }
 
     // 8. Slot-predication lowering.
     if (opts.level == OptLevel::Aggressive && opts.slotLowering) {
+        auto ph = phase("14_slot_lowering");
         out.slotStats = lowerProgramToSlots(prog, out.code,
                                             out.machine,
                                             opts.predQueueDepth);
     }
 
     // 9. Buffer allocation + link.
-    BufferAllocOptions ba;
-    ba.bufferOps = opts.bufferOps;
-    out.bufferAlloc = allocateLoopBuffers(prog, out.code, ba);
-    out.code.link();
-    out.scheduledOps = out.code.sizeOps();
+    {
+        auto ph = phase("15_buffer_alloc");
+        BufferAllocOptions ba;
+        ba.bufferOps = opts.bufferOps;
+        out.bufferAlloc = allocateLoopBuffers(prog, out.code, ba);
+        out.code.link();
+        out.scheduledOps = out.code.sizeOps();
+    }
 }
 
 void

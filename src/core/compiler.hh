@@ -41,6 +41,11 @@
 namespace lbp
 {
 
+namespace obs
+{
+class Registry;
+}
+
 /** Optimization level. */
 enum class OptLevel
 {
@@ -71,6 +76,14 @@ struct CompileOptions
     int predQueueDepth = 0;
     bool verifyStages = true;   ///< re-interpret after transforms
     std::vector<std::int64_t> profileArgs;
+
+    /**
+     * Optional pipeline profiling: when set, every stage publishes a
+     * scoped wall-clock timing ("compile.phase.<NN_stage>.ms") and
+     * its static op-count delta into this registry. Null (the
+     * default) keeps the pipeline observability-free.
+     */
+    obs::Registry *obsRegistry = nullptr;
 };
 
 /** Everything the pipeline produces. */

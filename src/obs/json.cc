@@ -1,0 +1,525 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace lbp
+{
+namespace obs
+{
+
+Json
+Json::boolean(bool v)
+{
+    Json j;
+    j.kind_ = Kind::Bool;
+    j.b_ = v;
+    return j;
+}
+
+Json
+Json::integer(std::int64_t v)
+{
+    Json j;
+    j.kind_ = Kind::Int;
+    j.i_ = v;
+    return j;
+}
+
+Json
+Json::uinteger(std::uint64_t v)
+{
+    Json j;
+    j.kind_ = Kind::Uint;
+    j.u_ = v;
+    return j;
+}
+
+Json
+Json::number(double v)
+{
+    Json j;
+    j.kind_ = Kind::Double;
+    j.d_ = v;
+    return j;
+}
+
+Json
+Json::str(std::string v)
+{
+    Json j;
+    j.kind_ = Kind::String;
+    j.s_ = std::move(v);
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+}
+
+std::int64_t
+Json::asInt() const
+{
+    switch (kind_) {
+      case Kind::Int: return i_;
+      case Kind::Uint: return static_cast<std::int64_t>(u_);
+      case Kind::Double: return static_cast<std::int64_t>(d_);
+      default: LBP_PANIC("Json::asInt on non-number");
+    }
+}
+
+std::uint64_t
+Json::asUint() const
+{
+    switch (kind_) {
+      case Kind::Int: return static_cast<std::uint64_t>(i_);
+      case Kind::Uint: return u_;
+      case Kind::Double: return static_cast<std::uint64_t>(d_);
+      default: LBP_PANIC("Json::asUint on non-number");
+    }
+}
+
+double
+Json::asDouble() const
+{
+    switch (kind_) {
+      case Kind::Int: return static_cast<double>(i_);
+      case Kind::Uint: return static_cast<double>(u_);
+      case Kind::Double: return d_;
+      default: LBP_PANIC("Json::asDouble on non-number");
+    }
+}
+
+void
+Json::push(Json v)
+{
+    LBP_ASSERT(kind_ == Kind::Array, "push on non-array Json");
+    arr_.push_back(std::move(v));
+}
+
+void
+Json::set(const std::string &key, Json v)
+{
+    LBP_ASSERT(kind_ == Kind::Object, "set on non-object Json");
+    for (auto &kv : obj_) {
+        if (kv.first == key) {
+            kv.second = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    for (const auto &kv : obj_)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+bool
+Json::operator==(const Json &o) const
+{
+    if (isNumber() && o.isNumber()) {
+        if (kind_ == Kind::Double || o.kind_ == Kind::Double) {
+            return kind_ == o.kind_ && d_ == o.d_;
+        }
+        // Int/Uint cross-compare by value.
+        if (kind_ == Kind::Int && i_ < 0)
+            return o.kind_ == Kind::Int && o.i_ == i_;
+        if (o.kind_ == Kind::Int && o.i_ < 0)
+            return false;
+        return asUint() == o.asUint();
+    }
+    if (kind_ != o.kind_)
+        return false;
+    switch (kind_) {
+      case Kind::Null: return true;
+      case Kind::Bool: return b_ == o.b_;
+      case Kind::String: return s_ == o.s_;
+      case Kind::Array: return arr_ == o.arr_;
+      case Kind::Object: return obj_ == o.obj_;
+      default: return false;
+    }
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+void
+writeDouble(std::ostream &os, double d)
+{
+    if (!std::isfinite(d)) {
+        // JSON has no inf/nan; emit null like most tools do.
+        os << "null";
+        return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    // Prefer a short form when it round-trips.
+    char shortBuf[64];
+    std::snprintf(shortBuf, sizeof(shortBuf), "%.6g", d);
+    const char *chosen =
+        std::strtod(shortBuf, nullptr) == d ? shortBuf : buf;
+    os << chosen;
+    // Keep the value's kind through a parse round-trip: a Double that
+    // happens to be integral ("2") must not come back as an Int.
+    if (!std::strpbrk(chosen, ".eE"))
+        os << ".0";
+}
+
+} // namespace
+
+void
+Json::write(std::ostream &os, int indent) const
+{
+    const std::string pad(indent * 2, ' ');
+    const std::string padIn((indent + 1) * 2, ' ');
+    switch (kind_) {
+      case Kind::Null: os << "null"; break;
+      case Kind::Bool: os << (b_ ? "true" : "false"); break;
+      case Kind::Int: os << i_; break;
+      case Kind::Uint: os << u_; break;
+      case Kind::Double: writeDouble(os, d_); break;
+      case Kind::String: os << '"' << jsonEscape(s_) << '"'; break;
+      case Kind::Array: {
+        if (arr_.empty()) {
+            os << "[]";
+            break;
+        }
+        // Arrays of scalars stay on one line; nested structures get
+        // one element per line.
+        bool scalarOnly = true;
+        for (const auto &v : arr_)
+            if (v.kind_ == Kind::Array || v.kind_ == Kind::Object)
+                scalarOnly = false;
+        os << '[';
+        for (size_t i = 0; i < arr_.size(); ++i) {
+            if (!scalarOnly)
+                os << '\n' << padIn;
+            arr_[i].write(os, indent + 1);
+            if (i + 1 < arr_.size())
+                os << (scalarOnly ? ", " : ",");
+        }
+        if (!scalarOnly)
+            os << '\n' << pad;
+        os << ']';
+        break;
+      }
+      case Kind::Object: {
+        if (obj_.empty()) {
+            os << "{}";
+            break;
+        }
+        os << "{\n";
+        for (size_t i = 0; i < obj_.size(); ++i) {
+            os << padIn << '"' << jsonEscape(obj_[i].first) << "\": ";
+            obj_[i].second.write(os, indent + 1);
+            if (i + 1 < obj_.size())
+                os << ',';
+            os << '\n';
+        }
+        os << pad << '}';
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump() const
+{
+    std::ostringstream os;
+    write(os);
+    return os.str();
+}
+
+namespace
+{
+
+/** Recursive-descent parser over the full JSON grammar. */
+struct Parser
+{
+    const std::string &text;
+    size_t pos = 0;
+    std::string error;
+
+    explicit Parser(const std::string &t) : text(t) {}
+
+    void fail(const std::string &what)
+    {
+        if (error.empty()) {
+            error = what + " at offset " + std::to_string(pos);
+        }
+    }
+
+    void skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    Json value()
+    {
+        skipWs();
+        if (pos >= text.size()) {
+            fail("unexpected end of input");
+            return Json();
+        }
+        const char c = text[pos];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return Json::str(string());
+        if (c == 't' || c == 'f')
+            return boolean();
+        if (c == 'n') {
+            expectWord("null");
+            return Json();
+        }
+        return number();
+    }
+
+    void expectWord(const char *w)
+    {
+        for (const char *p = w; *p; ++p) {
+            if (pos >= text.size() || text[pos] != *p) {
+                fail(std::string("expected '") + w + "'");
+                return;
+            }
+            ++pos;
+        }
+    }
+
+    Json boolean()
+    {
+        if (text[pos] == 't') {
+            expectWord("true");
+            return Json::boolean(true);
+        }
+        expectWord("false");
+        return Json::boolean(false);
+    }
+
+    std::string string()
+    {
+        std::string out;
+        if (!consume('"')) {
+            fail("expected string");
+            return out;
+        }
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                break;
+            const char e = text[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos + 4 > text.size()) {
+                    fail("bad \\u escape");
+                    return out;
+                }
+                const unsigned cp = static_cast<unsigned>(
+                    std::strtoul(text.substr(pos, 4).c_str(),
+                                 nullptr, 16));
+                pos += 4;
+                // Basic-multilingual-plane only; encode as UTF-8.
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+              }
+              default: fail("bad escape"); return out;
+            }
+        }
+        if (!consume('"'))
+            fail("unterminated string");
+        return out;
+    }
+
+    Json number()
+    {
+        const size_t start = pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+'))
+            ++pos;
+        bool isFloat = false;
+        while (pos < text.size()) {
+            const char c = text[pos];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '-' ||
+                       c == '+') {
+                if (c == '.' || c == 'e' || c == 'E')
+                    isFloat = true;
+                ++pos;
+            } else {
+                break;
+            }
+        }
+        const std::string tok = text.substr(start, pos - start);
+        if (tok.empty() || tok == "-") {
+            fail("expected number");
+            return Json();
+        }
+        if (!isFloat) {
+            errno = 0;
+            if (tok[0] == '-') {
+                const long long v =
+                    std::strtoll(tok.c_str(), nullptr, 10);
+                if (errno != ERANGE)
+                    return Json::integer(v);
+            } else {
+                const unsigned long long v =
+                    std::strtoull(tok.c_str(), nullptr, 10);
+                if (errno != ERANGE) {
+                    if (v <= static_cast<unsigned long long>(
+                                 INT64_MAX))
+                        return Json::integer(
+                            static_cast<std::int64_t>(v));
+                    return Json::uinteger(v);
+                }
+            }
+        }
+        return Json::number(std::strtod(tok.c_str(), nullptr));
+    }
+
+    Json array()
+    {
+        Json a = Json::array();
+        consume('[');
+        skipWs();
+        if (consume(']'))
+            return a;
+        while (error.empty()) {
+            a.push(value());
+            if (consume(']'))
+                break;
+            if (!consume(',')) {
+                fail("expected ',' or ']'");
+                break;
+            }
+        }
+        return a;
+    }
+
+    Json object()
+    {
+        Json o = Json::object();
+        consume('{');
+        skipWs();
+        if (consume('}'))
+            return o;
+        while (error.empty()) {
+            skipWs();
+            const std::string key = string();
+            if (!consume(':')) {
+                fail("expected ':'");
+                break;
+            }
+            o.set(key, value());
+            if (consume('}'))
+                break;
+            if (!consume(',')) {
+                fail("expected ',' or '}'");
+                break;
+            }
+        }
+        return o;
+    }
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text, std::string &error)
+{
+    Parser p(text);
+    Json v = p.value();
+    p.skipWs();
+    if (p.error.empty() && p.pos != text.size())
+        p.fail("trailing garbage");
+    error = p.error;
+    if (!error.empty())
+        return Json();
+    return v;
+}
+
+} // namespace obs
+} // namespace lbp

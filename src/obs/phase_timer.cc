@@ -1,0 +1,45 @@
+#include "obs/phase_timer.hh"
+
+#include "obs/registry.hh"
+
+namespace lbp
+{
+namespace obs
+{
+
+ScopedPhase::ScopedPhase(Registry *r, const std::string &name,
+                         std::int64_t opsBefore)
+    : r_(r), opsBefore_(opsBefore)
+{
+    if (!r_)
+        return;
+    name_ = name;
+    t0_ = std::chrono::steady_clock::now();
+    if (opsBefore_ >= 0)
+        r_->counter(name_ + ".ops_before")
+            .set(static_cast<std::uint64_t>(opsBefore_));
+}
+
+void
+ScopedPhase::finishOps(std::int64_t opsAfter)
+{
+    if (!r_ || opsBefore_ < 0)
+        return;
+    r_->counter(name_ + ".ops_after")
+        .set(static_cast<std::uint64_t>(opsAfter));
+    r_->intGauge(name_ + ".ops_delta").set(opsAfter - opsBefore_);
+}
+
+ScopedPhase::~ScopedPhase()
+{
+    if (!r_)
+        return;
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0_)
+            .count();
+    r_->gauge(name_ + ".ms").add(ms);
+}
+
+} // namespace obs
+} // namespace lbp

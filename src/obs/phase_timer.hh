@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Scoped wall-clock phase timers for pipeline profiling. A
+ * ScopedPhase brackets one compile stage: on destruction it adds the
+ * elapsed milliseconds to "<name>.ms" in the registry, and optional
+ * op counts record the stage's static code-size delta. A null
+ * registry makes every member a no-op (the unprofiled pipeline pays
+ * one pointer test per stage).
+ */
+
+#ifndef LBP_OBS_PHASE_TIMER_HH
+#define LBP_OBS_PHASE_TIMER_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace lbp
+{
+namespace obs
+{
+
+class Registry;
+
+class ScopedPhase
+{
+  public:
+    /**
+     * @p opsBefore: static op count entering the stage (pass -1 when
+     * op accounting is not meaningful for this stage).
+     */
+    ScopedPhase(Registry *r, const std::string &name,
+                std::int64_t opsBefore = -1);
+
+    /** Record the stage's resulting op count (and the delta). */
+    void finishOps(std::int64_t opsAfter);
+
+    ~ScopedPhase();
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    Registry *r_;
+    std::string name_;
+    std::int64_t opsBefore_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+} // namespace obs
+} // namespace lbp
+
+#endif // LBP_OBS_PHASE_TIMER_HH

@@ -1,0 +1,154 @@
+#include "obs/publish.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "core/compiler.hh"
+
+namespace lbp
+{
+namespace obs
+{
+
+namespace
+{
+
+std::string
+loopPrefix(const std::string &prefix, std::size_t id)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%03zu", id);
+    return prefix + ".loop." + buf + ".";
+}
+
+} // namespace
+
+void
+publishSimStats(Registry &r, const SimStats &s,
+                const std::string &prefix)
+{
+    r.counter(prefix + ".cycles").set(s.cycles);
+    r.counter(prefix + ".bundles").set(s.bundles);
+    r.counter(prefix + ".opsFetched").set(s.opsFetched);
+    r.counter(prefix + ".opsFromBuffer").set(s.opsFromBuffer);
+    r.counter(prefix + ".opsNullified").set(s.opsNullified);
+    r.counter(prefix + ".opsSensitive").set(s.opsSensitive);
+    r.counter(prefix + ".branches").set(s.branches);
+    r.counter(prefix + ".branchesTaken").set(s.branchesTaken);
+    r.counter(prefix + ".branchPenaltyCycles")
+        .set(s.branchPenaltyCycles);
+    r.counter(prefix + ".checksum").set(s.checksum);
+    r.gauge(prefix + ".bufferFraction").set(s.bufferFraction());
+    r.counter(prefix + ".returns.count").set(s.returns.size());
+    for (std::size_t i = 0; i < s.returns.size(); ++i)
+        r.intGauge(prefix + ".returns." + std::to_string(i))
+            .set(s.returns[i]);
+
+    for (std::size_t id = 0; id < s.loops.size(); ++id) {
+        const LoopStats &ls = s.loops[id];
+        const std::string p = loopPrefix(prefix, id);
+        r.info(p + "name", ls.name);
+        r.intGauge(p + "imageOps").set(ls.imageOps);
+        r.intGauge(p + "bufAddr").set(ls.bufAddr);
+        r.counter(p + "activations").set(ls.activations);
+        r.counter(p + "recordings").set(ls.recordings);
+        r.counter(p + "iterations").set(ls.iterations);
+        r.counter(p + "bufferIterations").set(ls.bufferIterations);
+    }
+}
+
+void
+publishFetchEnergy(Registry &r, const FetchEnergy &e,
+                   const std::string &prefix)
+{
+    r.gauge(prefix + ".totalNj").set(e.totalNj);
+    r.gauge(prefix + ".memoryNj").set(e.memoryNj);
+    r.gauge(prefix + ".bufferNj").set(e.bufferNj);
+    r.counter(prefix + ".opsFromMemory").set(e.opsFromMemory);
+    r.counter(prefix + ".opsFromBuffer").set(e.opsFromBuffer);
+}
+
+void
+publishCompileResult(Registry &r, const CompileResult &cr,
+                     const std::string &prefix)
+{
+    auto c = [&](const std::string &n, std::int64_t v) {
+        r.intGauge(prefix + "." + n).set(v);
+    };
+    c("originalOps", cr.originalOps);
+    c("finalOps", cr.finalOps);
+    c("scheduledOps", cr.scheduledOps);
+    c("moduloLoops", cr.moduloLoops);
+    c("simpleLoops", cr.simpleLoops);
+    r.counter(prefix + ".goldenChecksum").set(cr.goldenChecksum);
+
+    c("inline.sitesInlined", cr.inlineStats.sitesInlined);
+    c("inline.opsAdded", cr.inlineStats.opsAdded);
+    c("peel.loopsPeeled", cr.peelStats.loopsPeeled);
+    c("peel.opsAdded", cr.peelStats.opsAdded);
+    c("ifConvert.loopsConverted", cr.ifConvertStats.loopsConverted);
+    c("ifConvert.blocksMerged", cr.ifConvertStats.blocksMerged);
+    c("ifConvert.predDefsInserted",
+      cr.ifConvertStats.predDefsInserted);
+    c("ifConvert.sideExits", cr.ifConvertStats.sideExits);
+    c("collapse.loopsCollapsed", cr.collapseStats.loopsCollapsed);
+    c("collapse.outerOpsPulledIn",
+      cr.collapseStats.outerOpsPulledIn);
+    c("branchCombine.loopsCombined",
+      cr.branchCombineStats.loopsCombined);
+    c("branchCombine.exitsCombined",
+      cr.branchCombineStats.exitsCombined);
+    c("promote.promoted", cr.promoteStats.promoted);
+    c("promote.speculativeLoads", cr.promoteStats.speculativeLoads);
+    c("reassociate.chainsRebalanced",
+      cr.reassocStats.chainsRebalanced);
+    c("reassociate.opsInChains", cr.reassocStats.opsInChains);
+    c("countedLoop.cloops", cr.countedLoopStats.cloops);
+    c("countedLoop.wloops", cr.countedLoopStats.wloops);
+    c("slot.blocksAttempted", cr.slotStats.blocksAttempted);
+    c("slot.blocksLowered", cr.slotStats.blocksLowered);
+    c("slot.definesRewritten", cr.slotStats.definesRewritten);
+    c("slot.sensitiveOps", cr.slotStats.sensitiveOps);
+    c("slot.predsKeptInRegisters",
+      cr.slotStats.predsKeptInRegisters);
+    c("buffer.loopsBuffered", cr.bufferAlloc.buffered);
+    c("buffer.loopsUnbuffered", cr.bufferAlloc.unbuffered);
+}
+
+std::string
+diffSimStats(const SimStats &a, const SimStats &b,
+             const std::string &labelA, const std::string &labelB)
+{
+    Registry ra, rb;
+    publishSimStats(ra, a);
+    publishSimStats(rb, b);
+    const auto diffs = diffRegistries(ra.toJson(), rb.toJson());
+    if (diffs.empty())
+        return "";
+
+    std::ostringstream os;
+    os << diffs.size() << " field(s) differ (" << labelA << " vs "
+       << labelB << "):\n";
+    int firstLoop = -1;
+    for (const auto &d : diffs) {
+        os << "  " << d.key << ": " << d.a << " vs " << d.b << "\n";
+        // Keys look like "sim.loop.<id3>.<field>".
+        const auto pos = d.key.find(".loop.");
+        if (pos != std::string::npos) {
+            const int id = std::atoi(d.key.c_str() + pos + 6);
+            if (firstLoop < 0 || id < firstLoop)
+                firstLoop = id;
+        }
+    }
+    if (firstLoop >= 0) {
+        os << "first diverging loop id: " << firstLoop;
+        if (static_cast<std::size_t>(firstLoop) < a.loops.size())
+            os << " (" << a.loops[firstLoop].name << ")";
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace obs
+} // namespace lbp

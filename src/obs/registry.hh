@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Named, hierarchical metrics registry in the spirit of gem5's stat
+ * registries: benches, tools, and tests publish counters into one
+ * structure and share one serialization path (JSON with a versioned
+ * schema, CSV for spreadsheets) instead of each binary hand-printing
+ * its own fields.
+ *
+ * Hierarchy is by dotted name ("sim.loop.003.iterations"); metrics
+ * are created on first access and iterate in name order, so dumps are
+ * deterministic. Four metric types:
+ *
+ *  - Counter:  monotonically-accumulated uint64 (cycles, ops);
+ *  - IntGauge: signed 64-bit level (deltas, addresses, return values);
+ *  - Gauge:    double level (fractions, milliseconds, nanojoules);
+ *  - Histogram: weighted integer-binned distribution.
+ *
+ * Free-form string annotations ("info") carry identity metadata
+ * (workload, engine, machine) and land in the dump's "meta" block.
+ */
+
+#ifndef LBP_OBS_REGISTRY_HH
+#define LBP_OBS_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace lbp
+{
+namespace obs
+{
+
+/** Registry dump format version (bump on layout changes). */
+constexpr int kRegistrySchemaVersion = 1;
+
+class Counter
+{
+  public:
+    void inc(std::uint64_t d = 1) { v_ += d; }
+    void set(std::uint64_t v) { v_ = v; }
+    std::uint64_t value() const { return v_; }
+
+  private:
+    std::uint64_t v_ = 0;
+};
+
+class IntGauge
+{
+  public:
+    void set(std::int64_t v) { v_ = v; }
+    void add(std::int64_t d) { v_ += d; }
+    std::int64_t value() const { return v_; }
+
+  private:
+    std::int64_t v_ = 0;
+};
+
+class Gauge
+{
+  public:
+    void set(double v) { v_ = v; }
+    void add(double d) { v_ += d; }
+    double value() const { return v_; }
+
+  private:
+    double v_ = 0;
+};
+
+/** Weighted histogram over integer bins (obs twin of support/stats). */
+class Histogram
+{
+  public:
+    void add(std::int64_t v, double weight = 1.0)
+    { bins_[v] += weight; }
+
+    double total() const;
+    double mean() const;
+    std::int64_t maxValue() const;
+    bool empty() const { return bins_.empty(); }
+    const std::map<std::int64_t, double> &bins() const
+    { return bins_; }
+
+  private:
+    std::map<std::int64_t, double> bins_;
+};
+
+class Registry
+{
+  public:
+    /** Find-or-create. A name is bound to one type for its lifetime. */
+    Counter &counter(const std::string &name);
+    IntGauge &intGauge(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** String annotation for the dump's "meta" block. */
+    void info(const std::string &name, const std::string &value);
+
+    /** Lookup without creation (nullptr when absent). */
+    const Counter *findCounter(const std::string &name) const;
+    const std::string *findInfo(const std::string &name) const;
+
+    bool empty() const;
+
+    /**
+     * Serialize: {"schema_version", "meta": {...}, "metrics": {...},
+     * "histograms": {...}}. Metric values keep their exact integer
+     * width through obs::Json.
+     */
+    Json toJson() const;
+
+    /** CSV rows: kind,name,value (histogram bins flattened). */
+    void writeCsv(std::ostream &os) const;
+
+    /** Human-oriented aligned table of every metric. */
+    void writeTable(std::ostream &os) const;
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, IntGauge> intGauges_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> hists_;
+    std::map<std::string, std::string> infos_;
+
+    void checkFresh(const std::string &name, const void *self) const;
+};
+
+/** One differing key between two registry dumps. */
+struct DiffEntry
+{
+    std::string key;
+    std::string a;   ///< rendering in the first dump ("<absent>" if missing)
+    std::string b;   ///< rendering in the second dump
+};
+
+/**
+ * Field-by-field diff of two registry JSON dumps (as produced by
+ * Registry::toJson or parsed back from disk). Compares the union of
+ * "metrics" and "histograms" keys; "meta" is identity, not data, and
+ * is ignored. Returns differing keys in name order.
+ */
+std::vector<DiffEntry> diffRegistries(const Json &a, const Json &b);
+
+} // namespace obs
+} // namespace lbp
+
+#endif // LBP_OBS_REGISTRY_HH

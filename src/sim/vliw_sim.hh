@@ -36,6 +36,11 @@
 namespace lbp
 {
 
+namespace obs
+{
+class TraceSink;
+}
+
 /** Predication micro-architecture selector. */
 enum class PredMode
 {
@@ -142,6 +147,14 @@ struct SimConfig
      * differential-testing oracle (bit-identical stats guaranteed).
      */
     SimEngine engine = SimEngine::DECODED;
+
+    /**
+     * Cycle-level event tracing (obs/trace.hh). Null — the default —
+     * costs one predicted branch per emission site; both engines
+     * emit identical event streams for the same program, which the
+     * obs tests assert differentially.
+     */
+    obs::TraceSink *trace = nullptr;
 };
 
 struct DecodedProgram;
@@ -193,6 +206,17 @@ class VliwSim
 
     /** Decoded fast-path twin of callFunction (vliw_sim_decoded.cc). */
     std::vector<std::int64_t> callFunctionDecoded(
+        FuncId f, const std::vector<std::int64_t> &args);
+
+    /**
+     * The decoded executor body, stamped out twice: Traced=false is
+     * the production hot path with every emission site compiled out
+     * (bit-identical code to a build without tracing), Traced=true
+     * carries the trace hooks. callFunctionDecoded dispatches on
+     * cfg_.trace once per call, not per bundle.
+     */
+    template <bool Traced>
+    std::vector<std::int64_t> callFunctionDecodedImpl(
         FuncId f, const std::vector<std::int64_t> &args);
 
     std::int64_t readOperand(const Frame &fr, const Operand &o) const;

@@ -1,10 +1,40 @@
-#include "sim/vliw_sim.hh"
+/**
+ * @file
+ * The decoded fast-path executor body: semantically a line-for-line
+ * twin of the reference interpreter in vliw_sim.cc, but running over
+ * the predecoded MicroOp image (decoded.hh). Differences are strictly
+ * mechanical:
+ *
+ *  - operands are pre-resolved (no OperandKind switch per read);
+ *  - NOPs are gone, bundle fetch sizes are precomputed;
+ *  - per-bundle deferred-write lists live in fixed stack arrays
+ *    instead of freshly allocated vectors;
+ *  - loop statistics are indexed by dense loop id (no map lookups);
+ *  - range checks proven at predecode time are not re-checked.
+ *
+ * Any behavioral divergence from the reference engine is a bug; the
+ * engine-differential test compares complete SimStats between the
+ * two across every registry workload.
+ *
+ * This is a private implementation header, not an interface: it
+ * defines the callFunctionDecodedImpl<Traced> member template and is
+ * included by exactly two translation units, vliw_sim_decoded.cc
+ * (explicitly instantiating Traced=false) and
+ * vliw_sim_decoded_traced.cc (Traced=true). Keeping the two
+ * instantiations in separate TUs is deliberate: with both bodies in
+ * one TU the inliner splits its budget between them and the untraced
+ * hot path loses ~5% throughput; alone in its TU, the Traced=false
+ * stamp compiles to the same code as a build without tracing.
+ */
+
+#ifndef LBP_SIM_VLIW_SIM_DECODED_BODY_HH
+#define LBP_SIM_VLIW_SIM_DECODED_BODY_HH
 
 #include <algorithm>
 
-#include "ir/interpreter.hh"
 #include "obs/trace.hh"
 #include "sim/decoded.hh"
+#include "sim/vliw_sim.hh"
 #include "support/logging.hh"
 
 namespace lbp
@@ -37,102 +67,64 @@ asBits(double d)
 
 } // namespace
 
-VliwSim::VliwSim(const SchedProgram &code, const SimConfig &cfg)
-    : code_(code), cfg_(cfg), buffer_(cfg.bufferOps)
-{
-    LBP_ASSERT(code_.ir != nullptr, "SchedProgram without IR link");
-    loopTable_ = std::make_unique<LoopTable>(buildLoopTable(code_));
-    if (cfg_.engine == SimEngine::DECODED)
-        decoded_ = std::make_unique<DecodedProgram>(
-            decodeProgram(code_, *loopTable_));
-    slotPred_.fill(1);
-}
+/**
+ * Trace emission for the templated executor: compiles to nothing in
+ * the Traced=false instantiation, so the untraced hot loop carries no
+ * emission code at all (not even the null checks).
+ */
+#define DECODED_TRACE_EMIT(...)                                             \
+    do {                                                                    \
+        if constexpr (Traced)                                               \
+            LBP_TRACE_EMIT(__VA_ARGS__);                                    \
+    } while (0)
 
-VliwSim::~VliwSim() = default;
-
-std::int64_t
-VliwSim::readOperand(const Frame &fr, const Operand &o) const
-{
-    switch (o.kind) {
-      case OperandKind::REG:
-        LBP_ASSERT(o.asReg() < fr.regs.size(), "reg out of range");
-        return fr.regs[o.asReg()];
-      case OperandKind::IMM:
-        return o.value;
-      case OperandKind::PRED:
-        LBP_ASSERT(o.asPred() < fr.preds.size(), "pred out of range");
-        return fr.preds[o.asPred()];
-      default:
-        LBP_PANIC("unreadable operand");
-    }
-}
-
-bool
-VliwSim::opExecutes(const Frame &fr, const Operation &op, int slot) const
-{
-    if (cfg_.predMode == PredMode::SLOT && op.sensitive) {
-        LBP_ASSERT(slot >= 0 && slot < Machine::width,
-                   "sensitive op without slot");
-        return slotPred_[slot] != 0;
-    }
-    if (op.guard == kNoPred)
-        return true;
-    LBP_ASSERT(op.guard < fr.preds.size(), "guard out of range");
-    return fr.preds[op.guard] != 0;
-}
-
-SimStats
-VliwSim::run(const std::vector<std::int64_t> &args)
-{
-    const Program &prog = *code_.ir;
-    mem_ = prog.memory;
-    stats_ = SimStats{};
-    stats_.loops = loopTable_->proto;
-    bundlesExecuted_ = 0;
-    callDepth_ = 0;
-    buffer_.clear();
-    slotPred_.fill(1);
-
-    auto rets = cfg_.engine == SimEngine::DECODED
-                    ? callFunctionDecoded(prog.entryFunc, args)
-                    : callFunction(prog.entryFunc, args);
-    stats_.returns = std::move(rets);
-    if (prog.checksumSize > 0) {
-        stats_.checksum = fnv1a(mem_.data() + prog.checksumBase,
-                                static_cast<size_t>(prog.checksumSize));
-    }
-    return stats_;
-}
-
+template <bool Traced>
 std::vector<std::int64_t>
-VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
+VliwSim::callFunctionDecodedImpl(FuncId f,
+                                 const std::vector<std::int64_t> &args)
 {
     LBP_ASSERT(++callDepth_ < 200, "sim call stack overflow");
-    const Function &fn = code_.ir->functions[f];
-    const SchedFunction &sf = code_.functions[f];
-    LBP_ASSERT(args.size() == fn.params.size(),
-               "arg count mismatch calling ", fn.name);
+    const DecodedProgram &dp = *decoded_;
+    const DecodedFunction &df = dp.functions[f];
+    LBP_ASSERT(args.size() == df.params.size(),
+               "arg count mismatch calling ", df.fn->name);
 
-    obs::TraceSink *const ts = cfg_.trace;
-
-    Frame fr;
-    fr.fn = &fn;
-    fr.sf = &sf;
-    fr.regs.assign(fn.nextReg, 0);
-    fr.preds.assign(std::max<PredId>(fn.nextPred, 1), 0);
+    std::vector<std::int64_t> regsVec(df.numRegs, 0);
+    std::vector<std::uint8_t> predsVec(df.numPreds, 0);
+    std::int64_t *const regs = regsVec.data();
+    std::uint8_t *const preds = predsVec.data();
     for (size_t i = 0; i < args.size(); ++i)
-        fr.regs[fn.params[i]] = args[i];
+        regs[df.params[i]] = args[i];
 
     std::vector<LoopCtx> loopStack;
 
-    BlockId curBlk = fn.entry;
+    BlockId curBlk = df.entry;
     size_t curBu = 0;
 
-    // Deferred writes for the two-phase bundle commit.
-    struct RegWrite { RegId r; std::int64_t v; };
-    struct PredWrite { PredId p; std::uint8_t v; };
-    struct SlotWrite { int s; std::uint8_t v; };
+    const bool slotMode = cfg_.predMode == PredMode::SLOT;
+    [[maybe_unused]] obs::TraceSink *const ts =
+        Traced ? cfg_.trace : nullptr;
+
+    auto readSrc = [&](const XSrc &s) -> std::int64_t {
+        if (s.kind == XSrc::REG)
+            return regs[s.idx];
+        if (s.kind == XSrc::IMM)
+            return s.imm;
+        return preds[s.idx];
+    };
+
+    // Deferred writes for the two-phase bundle commit. Capacities are
+    // bounded by the issue width (checked at predecode): at most one
+    // register or memory write per op, two predicate/slot writes per
+    // predicate define.
+    struct RegWrite { std::int32_t r; std::int64_t v; };
+    struct PredWrite { std::int32_t p; std::uint8_t v; };
+    struct SlotWrite { std::int32_t s; std::uint8_t v; };
     struct MemWrite { Opcode op; std::int64_t addr; std::int64_t v; };
+    RegWrite regW[Machine::width];
+    PredWrite predW[2 * Machine::width];
+    SlotWrite slotW[2 * Machine::width];
+    MemWrite memW[Machine::width];
 
     /**
      * Finish a loop activation: apply pipelined-timing correction and
@@ -147,29 +139,27 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
                 static_cast<std::uint64_t>(ctx.bodyLen - ctx.ii);
             stats_.cycles -= std::min(stats_.cycles, save);
         }
-        LBP_TRACE_EMIT(ts, obs::TraceKind::LoopExit, stats_.cycles,
+        DECODED_TRACE_EMIT(ts, obs::TraceKind::LoopExit, stats_.cycles,
                        ctx.loopId,
                        static_cast<std::int64_t>(ctx.iterations),
                        ctx.fromBuffer ? 1 : 0);
     };
 
     while (true) {
-        LBP_ASSERT(curBlk != kNoBlock && curBlk < fn.blocks.size(),
-                   "sim fell off CFG in ", fn.name);
-        const BasicBlock &ibb = fn.blocks[curBlk];
-        LBP_ASSERT(!ibb.dead, "sim in dead block");
-        const SchedBlock &sb = sf.blocks[curBlk];
-        LBP_ASSERT(sb.valid, "sim in unscheduled block ", ibb.name);
+        LBP_ASSERT(curBlk != kNoBlock && curBlk < df.blocks.size(),
+                   "sim fell off CFG in ", df.fn->name);
+        const DecodedBlock &db = df.blocks[curBlk];
+        LBP_ASSERT(db.valid, "sim in dead or unscheduled block");
 
-        if (curBu >= sb.bundles.size()) {
-            LBP_ASSERT(ibb.fallthrough != kNoBlock,
-                       "sim fell off block ", ibb.name);
-            curBlk = ibb.fallthrough;
+        if (curBu >= db.bundleCount) {
+            LBP_ASSERT(db.fallthrough != kNoBlock,
+                       "sim fell off block in ", df.fn->name);
+            curBlk = db.fallthrough;
             curBu = 0;
             continue;
         }
 
-        const Bundle &bu = sb.bundles[curBu];
+        const DecodedBundle &bu = df.bundles[db.firstBundle + curBu];
         LBP_ASSERT(++bundlesExecuted_ <= cfg_.maxBundles,
                    "bundle budget exceeded");
         ++stats_.bundles;
@@ -183,32 +173,25 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
             if (top.fromBuffer && curBlk == top.head)
                 fromBuffer = true;
         }
-        stats_.opsFetched += bu.sizeOps();
+        stats_.opsFetched += bu.sizeOps;
         if (fromBuffer)
-            stats_.opsFromBuffer += bu.sizeOps();
-        LBP_TRACE_EMIT(ts,
+            stats_.opsFromBuffer += bu.sizeOps;
+        DECODED_TRACE_EMIT(ts,
                        fromBuffer ? obs::TraceKind::BufHit
                                   : obs::TraceKind::Fetch,
                        stats_.cycles,
                        fromBuffer ? loopStack.back().loopId : -1,
-                       bu.sizeOps(), curBlk);
+                       bu.sizeOps, curBlk);
 
         // ---- Phase 1: evaluate ----
-        std::vector<RegWrite> regWrites;
-        std::vector<PredWrite> predWrites;
-        std::vector<SlotWrite> slotWrites;
-        std::vector<MemWrite> memWrites;
+        int nRegW = 0, nPredW = 0, nSlotW = 0, nMemW = 0;
 
-        // Control decision (at most one branch-unit op per bundle).
-        // A redirect names the next (block, bundle) pair; freeXfer
-        // marks transfers with no fetch-redirect penalty (buffered
-        // loop-backs and predicted counted-loop exits).
         bool redirect = false;
         BlockId nextBlk = kNoBlock;
         size_t nextBu = 0;
         bool freeXfer = false;
-        const Operation *callOp = nullptr;
-        const Operation *retOp = nullptr;
+        const MicroOp *callOp = nullptr;
+        const MicroOp *retOp = nullptr;
         bool sawControl = false;
         auto takeRedirect = [&](BlockId blk, size_t buIdx, bool free) {
             LBP_ASSERT(!sawControl,
@@ -220,44 +203,48 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
             freeXfer = free;
         };
 
-        for (const auto &so : bu.ops) {
-            const Operation &op = so.op;
-            if (op.op == Opcode::NOP)
-                continue;
-            if (cfg_.predMode == PredMode::SLOT && op.sensitive)
+        const MicroOp *const opBase = df.ops.data();
+        for (const MicroOp *m = opBase + bu.first,
+                           *const end = m + bu.count;
+             m != end; ++m) {
+            bool exec;
+            if (slotMode && m->sensitive) {
                 ++stats_.opsSensitive;
-
-            const bool exec = opExecutes(fr, op, so.slot);
-            if (!exec && op.op != Opcode::PRED_DEF) {
+                exec = slotPred_[m->slot] != 0;
+            } else {
+                exec = m->guard == kNoPred || preds[m->guard] != 0;
+            }
+            if (!exec && m->op != Opcode::PRED_DEF) {
                 ++stats_.opsNullified;
-                LBP_TRACE_EMIT(ts, obs::TraceKind::Nullify,
+                DECODED_TRACE_EMIT(ts, obs::TraceKind::Nullify,
                                stats_.cycles, -1,
-                               static_cast<std::int64_t>(op.op),
-                               so.slot);
-                if (op.isBranchOp()) {
+                               static_cast<std::int64_t>(m->op),
+                               m->slot);
+                if (isBranch(m->op)) {
                     ++stats_.branches;
-                    LBP_TRACE_EMIT(ts, obs::TraceKind::Branch,
+                    DECODED_TRACE_EMIT(ts, obs::TraceKind::Branch,
                                    stats_.cycles, -1, 0, 1);
                 }
                 continue;
             }
 
-            switch (op.op) {
+            switch (m->op) {
               case Opcode::PRED_DEF: {
                 // The guard is an input to the define (Table 2).
                 bool g;
-                if (cfg_.predMode == PredMode::SLOT && op.sensitive) {
-                    g = slotPred_[so.slot] != 0;
-                } else if (op.guard != kNoPred) {
-                    g = fr.preds[op.guard] != 0;
+                if (slotMode && m->sensitive) {
+                    g = slotPred_[m->slot] != 0;
+                } else if (m->guard != kNoPred) {
+                    g = preds[m->guard] != 0;
                 } else {
                     g = true;
                 }
-                const std::int64_t a = readOperand(fr, op.srcs[0]);
-                const std::int64_t b = readOperand(fr, op.srcs[1]);
-                const bool c = evalCond(op.cond, a, b);
-                auto apply = [&](PredDefKind k, const Operand &dst) {
-                    if (k == PredDefKind::NONE)
+                const std::int64_t a = readSrc(m->src[0]);
+                const std::int64_t b = readSrc(m->src[1]);
+                const bool c = evalCond(m->cond, a, b);
+                auto apply = [&](PredDefKind k, std::uint8_t dKind,
+                                 std::int32_t dIdx) {
+                    if (k == PredDefKind::NONE || dKind == 0)
                         return;
                     int w = -1;
                     switch (k) {
@@ -275,19 +262,16 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
                     }
                     if (w < 0)
                         return;
-                    if (dst.isSlot()) {
-                        slotWrites.push_back(
-                            {dst.asSlot(),
-                             static_cast<std::uint8_t>(w)});
+                    if (dKind == 2) {
+                        slotW[nSlotW++] =
+                            {dIdx, static_cast<std::uint8_t>(w)};
                     } else {
-                        predWrites.push_back(
-                            {dst.asPred(),
-                             static_cast<std::uint8_t>(w)});
+                        predW[nPredW++] =
+                            {dIdx, static_cast<std::uint8_t>(w)};
                     }
                 };
-                apply(op.defKind0, op.dsts[0]);
-                if (op.dsts.size() > 1)
-                    apply(op.defKind1, op.dsts[1]);
+                apply(m->k0, m->pdKind0, m->pdIdx0);
+                apply(m->k1, m->pdKind1, m->pdIdx1);
                 break;
               }
 
@@ -295,16 +279,15 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
               case Opcode::LD_H:
               case Opcode::LD_W: {
                 const std::int64_t addr =
-                    readOperand(fr, op.srcs[0]) +
-                    readOperand(fr, op.srcs[1]);
-                const size_t need = op.op == Opcode::LD_B ? 1
-                                    : op.op == Opcode::LD_H ? 2 : 4;
+                    readSrc(m->src[0]) + readSrc(m->src[1]);
+                const size_t need = m->op == Opcode::LD_B ? 1
+                                    : m->op == Opcode::LD_H ? 2 : 4;
                 std::int64_t v = 0;
                 const bool oob =
                     addr < 0 ||
                     static_cast<size_t>(addr) + need > mem_.size();
                 if (oob) {
-                    LBP_ASSERT(op.speculative,
+                    LBP_ASSERT(m->speculative,
                                "non-speculative load fault @", addr);
                     v = 0;
                 } else {
@@ -313,13 +296,13 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
                         raw |= static_cast<std::uint32_t>(
                                    mem_[addr + i]) << (8 * i);
                     }
-                    v = op.op == Opcode::LD_B
+                    v = m->op == Opcode::LD_B
                             ? static_cast<std::int8_t>(raw)
-                        : op.op == Opcode::LD_H
+                        : m->op == Opcode::LD_H
                             ? static_cast<std::int16_t>(raw)
                             : static_cast<std::int32_t>(raw);
                 }
-                regWrites.push_back({op.dsts[0].asReg(), v});
+                regW[nRegW++] = {m->dstReg, v};
                 break;
               }
 
@@ -327,55 +310,48 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
               case Opcode::ST_H:
               case Opcode::ST_W: {
                 const std::int64_t addr =
-                    readOperand(fr, op.srcs[0]) +
-                    readOperand(fr, op.srcs[1]);
-                memWrites.push_back(
-                    {op.op, addr, readOperand(fr, op.srcs[2])});
+                    readSrc(m->src[0]) + readSrc(m->src[1]);
+                memW[nMemW++] = {m->op, addr, readSrc(m->src[2])};
                 break;
               }
 
               case Opcode::MOV:
-                regWrites.push_back({op.dsts[0].asReg(),
-                                     readOperand(fr, op.srcs[0])});
+                regW[nRegW++] = {m->dstReg, readSrc(m->src[0])};
                 break;
               case Opcode::ABS:
-                regWrites.push_back(
-                    {op.dsts[0].asReg(),
-                     std::abs(readOperand(fr, op.srcs[0]))});
+                regW[nRegW++] = {m->dstReg,
+                                 std::abs(readSrc(m->src[0]))};
                 break;
               case Opcode::ITOF:
-                regWrites.push_back(
-                    {op.dsts[0].asReg(),
-                     asBits(static_cast<double>(
-                         readOperand(fr, op.srcs[0])))});
+                regW[nRegW++] = {m->dstReg,
+                                 asBits(static_cast<double>(
+                                     readSrc(m->src[0])))};
                 break;
               case Opcode::FTOI:
-                regWrites.push_back(
-                    {op.dsts[0].asReg(),
-                     static_cast<std::int64_t>(
-                         asDouble(readOperand(fr, op.srcs[0])))});
+                regW[nRegW++] = {m->dstReg,
+                                 static_cast<std::int64_t>(
+                                     asDouble(readSrc(m->src[0])))};
                 break;
               case Opcode::SELECT: {
-                const std::int64_t c = readOperand(fr, op.srcs[0]);
-                regWrites.push_back(
-                    {op.dsts[0].asReg(),
-                     c ? readOperand(fr, op.srcs[1])
-                       : readOperand(fr, op.srcs[2])});
+                const std::int64_t c = readSrc(m->src[0]);
+                regW[nRegW++] = {m->dstReg,
+                                 c ? readSrc(m->src[1])
+                                   : readSrc(m->src[2])};
                 break;
               }
 
               case Opcode::BR:
               case Opcode::BR_WLOOP: {
                 ++stats_.branches;
-                const std::int64_t a = readOperand(fr, op.srcs[0]);
-                const std::int64_t b = readOperand(fr, op.srcs[1]);
-                const bool taken = evalCond(op.cond, a, b);
-                LBP_TRACE_EMIT(ts, obs::TraceKind::Branch,
+                const std::int64_t a = readSrc(m->src[0]);
+                const std::int64_t b = readSrc(m->src[1]);
+                const bool taken = evalCond(m->cond, a, b);
+                DECODED_TRACE_EMIT(ts, obs::TraceKind::Branch,
                                stats_.cycles, -1, taken ? 1 : 0, 0);
                 const bool isWloopBack =
-                    op.op == Opcode::BR_WLOOP && !loopStack.empty() &&
+                    m->op == Opcode::BR_WLOOP && !loopStack.empty() &&
                     !loopStack.back().counted &&
-                    op.target == loopStack.back().head;
+                    m->target == loopStack.back().head;
                 if (taken) {
                     ++stats_.branchesTaken;
                     if (isWloopBack) {
@@ -387,11 +363,11 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
                         }
                         // Loop-backs of buffered loops are free (the
                         // buffer predicts them taken while looping).
-                        takeRedirect(op.target, 0, ctx.buffered);
+                        takeRedirect(m->target, 0, ctx.buffered);
                         if (ctx.buffered)
                             ctx.fromBuffer = true;
                     } else {
-                        takeRedirect(op.target, 0, false);
+                        takeRedirect(m->target, 0, false);
                     }
                 } else if (isWloopBack) {
                     // While-loop exit: retire the context. Exits are
@@ -406,7 +382,7 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
                         stats_.branchPenaltyCycles +=
                             cfg_.branchPenalty;
                         stats_.cycles += cfg_.branchPenalty;
-                        LBP_TRACE_EMIT(ts, obs::TraceKind::Penalty,
+                        DECODED_TRACE_EMIT(ts, obs::TraceKind::Penalty,
                                        stats_.cycles, ctx.loopId,
                                        cfg_.branchPenalty,
                                        obs::kPenaltyWloopExit);
@@ -423,22 +399,23 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
               case Opcode::JUMP:
                 ++stats_.branches;
                 ++stats_.branchesTaken;
-                LBP_TRACE_EMIT(ts, obs::TraceKind::Branch,
+                DECODED_TRACE_EMIT(ts, obs::TraceKind::Branch,
                                stats_.cycles, -1, 1, 0);
-                takeRedirect(op.target, 0, false);
+                takeRedirect(m->target, 0, false);
                 break;
 
               case Opcode::BR_CLOOP: {
                 ++stats_.branches;
                 LBP_ASSERT(!loopStack.empty() &&
                                loopStack.back().counted,
-                           "br.cloop without context in ", fn.name);
+                           "br.cloop without context in ",
+                           df.fn->name);
                 LoopCtx &ctx = loopStack.back();
                 ++ctx.iterations;
                 if (ctx.fromBuffer)
                     ++stats_.loops[ctx.loopId].bufferIterations;
                 --ctx.remaining;
-                LBP_TRACE_EMIT(ts, obs::TraceKind::Branch,
+                DECODED_TRACE_EMIT(ts, obs::TraceKind::Branch,
                                stats_.cycles, ctx.loopId,
                                ctx.remaining > 0 ? 1 : 0, 0);
                 if (ctx.remaining > 0) {
@@ -446,7 +423,7 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
                     // Counted loop-backs of buffered loops are free;
                     // unbuffered ones redirect fetch like any taken
                     // branch.
-                    takeRedirect(op.target, 0, ctx.buffered);
+                    takeRedirect(m->target, 0, ctx.buffered);
                     // After the first (recording) iteration, fetch
                     // shifts to the buffer.
                     if (ctx.buffered)
@@ -470,22 +447,20 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
               case Opcode::EXEC_CLOOP:
               case Opcode::EXEC_WLOOP: {
                 LoopCtx ctx;
-                ctx.key = {f, op.id};
-                ctx.loopId = loopTable_->idOf(ctx.key);
-                ctx.counted = op.op == Opcode::REC_CLOOP ||
-                              op.op == Opcode::EXEC_CLOOP;
+                ctx.key = loopTable_->keys[m->loopId];
+                ctx.loopId = m->loopId;
+                ctx.counted = m->counted;
                 if (ctx.counted) {
-                    ctx.remaining = readOperand(fr, op.srcs[0]);
+                    ctx.remaining = readSrc(m->src[0]);
                     LBP_ASSERT(ctx.remaining >= 1,
                                "cloop with count ", ctx.remaining);
                 }
-                ctx.head = op.target;
-                const SchedBlock &body = sf.blocks[op.target];
-                ctx.pipelined = body.pipelined;
-                ctx.bodyLen = body.lengthCycles();
-                ctx.ii = body.ii;
-                ctx.buffered = op.bufAddr >= 0;
-                LoopStats &ls = stats_.loops[ctx.loopId];
+                ctx.head = m->target;
+                ctx.pipelined = m->pipelined;
+                ctx.bodyLen = m->bodyLen;
+                ctx.ii = m->ii;
+                ctx.buffered = m->bufAddr >= 0;
+                LoopStats &ls = stats_.loops[m->loopId];
                 ++ls.activations;
                 bool recorded = false;
                 if (ctx.buffered) {
@@ -493,32 +468,30 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
                         buffer_.countTableHit();
                         ctx.fromBuffer = true;
                     } else {
-                        buffer_.record(ctx.key, op.bufAddr,
-                                       body.imageOps());
+                        buffer_.record(ctx.key, m->bufAddr,
+                                       m->imageOps);
                         ++ls.recordings;
                         ctx.fromBuffer = false;
                         recorded = true;
                     }
                 }
-                LBP_TRACE_EMIT(ts, obs::TraceKind::LoopEnter,
+                DECODED_TRACE_EMIT(ts, obs::TraceKind::LoopEnter,
                                stats_.cycles, ctx.loopId,
                                ctx.counted ? 1 : 0,
                                ctx.fromBuffer ? 1 : 0);
                 if (recorded) {
-                    LBP_TRACE_EMIT(ts, obs::TraceKind::LoopRecord,
+                    DECODED_TRACE_EMIT(ts, obs::TraceKind::LoopRecord,
                                    stats_.cycles, ctx.loopId,
-                                   op.bufAddr, body.imageOps());
+                                   m->bufAddr, m->imageOps);
                 }
-                const bool isExecOp =
-                    op.op == Opcode::EXEC_CLOOP ||
-                    op.op == Opcode::EXEC_WLOOP;
-                if (isExecOp) {
+                if (m->op == Opcode::EXEC_CLOOP ||
+                    m->op == Opcode::EXEC_WLOOP) {
                     ctx.isExec = true;
                     ctx.resumeBlock = curBlk;
                     ctx.resumeBundle = curBu + 1;
                     // Executing an already-buffered loop: no fetch
                     // redirect cost.
-                    takeRedirect(op.target, 0, ctx.fromBuffer);
+                    takeRedirect(m->target, 0, ctx.fromBuffer);
                 }
                 loopStack.push_back(ctx);
                 break;
@@ -526,22 +499,19 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
 
               case Opcode::CALL:
                 LBP_ASSERT(!callOp, "two calls in one bundle");
-                callOp = &op;
+                callOp = m;
                 break;
 
               case Opcode::RET:
-                retOp = &op;
-                break;
-
-              case Opcode::NOP:
+                retOp = m;
                 break;
 
               default: {
                 // Binary ALU family.
-                const std::int64_t a = readOperand(fr, op.srcs[0]);
-                const std::int64_t b = readOperand(fr, op.srcs[1]);
+                const std::int64_t a = readSrc(m->src[0]);
+                const std::int64_t b = readSrc(m->src[1]);
                 std::int64_t v = 0;
-                switch (op.op) {
+                switch (m->op) {
                   case Opcode::ADD: v = a + b; break;
                   case Opcode::SUB: v = a - b; break;
                   case Opcode::MUL: v = a * b; break;
@@ -567,7 +537,7 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
                   case Opcode::SATADD: v = sat16(a + b); break;
                   case Opcode::SATSUB: v = sat16(a - b); break;
                   case Opcode::CMP:
-                    v = evalCond(op.cond, a, b) ? 1 : 0;
+                    v = evalCond(m->cond, a, b) ? 1 : 0;
                     break;
                   case Opcode::FADD:
                     v = asBits(asDouble(a) + asDouble(b));
@@ -582,70 +552,76 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
                     v = asBits(asDouble(a) / asDouble(b));
                     break;
                   default:
-                    LBP_PANIC("unhandled opcode in sim: ",
-                              opcodeName(op.op));
+                    LBP_PANIC("unhandled opcode in decoded sim: ",
+                              opcodeName(m->op));
                 }
-                regWrites.push_back({op.dsts[0].asReg(), v});
+                regW[nRegW++] = {m->dstReg, v};
                 break;
               }
             }
         }
 
         // ---- Phase 2: commit ----
-        for (const auto &w : regWrites)
-            fr.regs[w.r] = w.v;
-        for (const auto &w : predWrites)
-            fr.preds[w.p] = w.v;
-        for (size_t i = 0; i < slotWrites.size(); ++i) {
-            for (size_t j = i + 1; j < slotWrites.size(); ++j) {
-                LBP_ASSERT(slotWrites[i].s != slotWrites[j].s ||
-                               slotWrites[i].v == slotWrites[j].v,
+        for (int i = 0; i < nRegW; ++i)
+            regs[regW[i].r] = regW[i].v;
+        for (int i = 0; i < nPredW; ++i)
+            preds[predW[i].p] = predW[i].v;
+        for (int i = 0; i < nSlotW; ++i) {
+            for (int j = i + 1; j < nSlotW; ++j) {
+                LBP_ASSERT(slotW[i].s != slotW[j].s ||
+                               slotW[i].v == slotW[j].v,
                            "conflicting same-cycle slot-predicate "
                            "writes");
             }
-            slotPred_[slotWrites[i].s] = slotWrites[i].v;
+            slotPred_[slotW[i].s] = slotW[i].v;
         }
-        for (const auto &w : memWrites) {
+        for (int i = 0; i < nMemW; ++i) {
+            const MemWrite &w = memW[i];
             const size_t need = w.op == Opcode::ST_B ? 1
                                 : w.op == Opcode::ST_H ? 2 : 4;
             LBP_ASSERT(w.addr >= 0 &&
                            static_cast<size_t>(w.addr) + need <=
                                mem_.size(),
                        "store fault @", w.addr);
-            for (size_t i = 0; i < need; ++i) {
-                mem_[w.addr + i] = static_cast<std::uint8_t>(
-                    (w.v >> (8 * i)) & 0xff);
+            for (size_t k = 0; k < need; ++k) {
+                mem_[w.addr + k] = static_cast<std::uint8_t>(
+                    (w.v >> (8 * k)) & 0xff);
             }
         }
 
         // Call/return (serialize: the call is the bundle's transfer).
         if (retOp) {
             std::vector<std::int64_t> rets;
-            for (const auto &s : retOp->srcs)
-                rets.push_back(readOperand(fr, s));
+            rets.reserve(retOp->xsrcCount);
+            for (std::uint32_t i = 0; i < retOp->xsrcCount; ++i)
+                rets.push_back(
+                    readSrc(dp.extraSrcs[retOp->xsrcBegin + i]));
             // Returning with live loop contexts would corrupt the
             // caller's hardware loop stack.
             LBP_ASSERT(loopStack.empty(),
                        "RET with live hardware-loop context in ",
-                       fn.name);
+                       df.fn->name);
             stats_.branchPenaltyCycles += cfg_.branchPenalty;
             stats_.cycles += cfg_.branchPenalty;
-            LBP_TRACE_EMIT(ts, obs::TraceKind::Penalty, stats_.cycles,
+            DECODED_TRACE_EMIT(ts, obs::TraceKind::Penalty, stats_.cycles,
                            -1, cfg_.branchPenalty, obs::kPenaltyReturn);
             --callDepth_;
             return rets;
         }
         if (callOp) {
             std::vector<std::int64_t> cargs;
-            for (const auto &s : callOp->srcs)
-                cargs.push_back(readOperand(fr, s));
+            cargs.reserve(callOp->xsrcCount);
+            for (std::uint32_t i = 0; i < callOp->xsrcCount; ++i)
+                cargs.push_back(
+                    readSrc(dp.extraSrcs[callOp->xsrcBegin + i]));
             stats_.branchPenaltyCycles += cfg_.branchPenalty;
             stats_.cycles += cfg_.branchPenalty;
-            LBP_TRACE_EMIT(ts, obs::TraceKind::Penalty, stats_.cycles,
+            DECODED_TRACE_EMIT(ts, obs::TraceKind::Penalty, stats_.cycles,
                            -1, cfg_.branchPenalty, obs::kPenaltyCall);
-            auto rets = callFunction(callOp->callee, cargs);
-            for (size_t i = 0; i < callOp->dsts.size(); ++i)
-                fr.regs[callOp->dsts[i].asReg()] = rets[i];
+            auto rets =
+                callFunctionDecodedImpl<Traced>(callOp->callee, cargs);
+            for (std::uint32_t i = 0; i < callOp->xdstCount; ++i)
+                regs[dp.extraDsts[callOp->xdstBegin + i]] = rets[i];
         }
 
         // Control transfer. A taken transfer that leaves the active
@@ -662,7 +638,7 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
             if (!freeXfer) {
                 stats_.branchPenaltyCycles += cfg_.branchPenalty;
                 stats_.cycles += cfg_.branchPenalty;
-                LBP_TRACE_EMIT(ts, obs::TraceKind::Penalty,
+                DECODED_TRACE_EMIT(ts, obs::TraceKind::Penalty,
                                stats_.cycles, -1, cfg_.branchPenalty,
                                obs::kPenaltyBranch);
             }
@@ -675,3 +651,7 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
 }
 
 } // namespace lbp
+
+#undef DECODED_TRACE_EMIT
+
+#endif // LBP_SIM_VLIW_SIM_DECODED_BODY_HH

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Traced instantiation of the decoded fast-path executor. Kept in its
+ * own translation unit so the emission-carrying stamp never competes
+ * with the untraced hot path for the inliner's budget (see
+ * vliw_sim_decoded_body.hh). Compiles to nothing under -DLBP_TRACE=0,
+ * where the dispatcher never references the Traced=true stamp.
+ */
+
+#include "obs/trace.hh"
+
+#if LBP_TRACE
+
+#include "sim/vliw_sim_decoded_body.hh"
+
+namespace lbp
+{
+
+template std::vector<std::int64_t>
+VliwSim::callFunctionDecodedImpl<true>(
+    FuncId f, const std::vector<std::int64_t> &args);
+
+} // namespace lbp
+
+#endif // LBP_TRACE

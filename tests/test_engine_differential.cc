@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "core/compiler.hh"
+#include "obs/publish.hh"
 #include "sim/vliw_sim.hh"
 #include "workloads/registry.hh"
 
@@ -18,27 +19,18 @@ namespace lbp
 namespace
 {
 
+/**
+ * Compare via the registry diff: on mismatch the failure message is a
+ * field-by-field listing of every diverging metric (including per-loop
+ * counters) plus the first diverging loop id — not just "stats
+ * differ".
+ */
 void
 expectIdentical(const SimStats &ref, const SimStats &dec,
                 const std::string &what)
 {
-    EXPECT_EQ(ref.cycles, dec.cycles) << what;
-    EXPECT_EQ(ref.bundles, dec.bundles) << what;
-    EXPECT_EQ(ref.opsFetched, dec.opsFetched) << what;
-    EXPECT_EQ(ref.opsFromBuffer, dec.opsFromBuffer) << what;
-    EXPECT_EQ(ref.opsNullified, dec.opsNullified) << what;
-    EXPECT_EQ(ref.opsSensitive, dec.opsSensitive) << what;
-    EXPECT_EQ(ref.branches, dec.branches) << what;
-    EXPECT_EQ(ref.branchesTaken, dec.branchesTaken) << what;
-    EXPECT_EQ(ref.branchPenaltyCycles, dec.branchPenaltyCycles)
-        << what;
-    EXPECT_EQ(ref.checksum, dec.checksum) << what;
-    EXPECT_EQ(ref.returns, dec.returns) << what;
-    ASSERT_EQ(ref.loops.size(), dec.loops.size()) << what;
-    for (std::size_t i = 0; i < ref.loops.size(); ++i)
-        EXPECT_TRUE(ref.loops[i] == dec.loops[i])
-            << what << " loop " << i << " (" << ref.loops[i].name
-            << ")";
+    const std::string diff = obs::diffSimStats(ref, dec);
+    EXPECT_TRUE(diff.empty()) << what << "\n" << diff;
 }
 
 class EngineDifferential

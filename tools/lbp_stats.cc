@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Observability front door: run a workload and pretty-print / dump the
+ * metrics registry, diff two registry dumps, or export a cycle-level
+ * Chrome trace (Perfetto-loadable).
+ *
+ *   lbp_stats run <workload> [options]     registry table + dumps
+ *   lbp_stats diff <a.json> <b.json>       field-by-field dump diff
+ *   lbp_stats trace <workload> [options]   Chrome trace-event JSON
+ *   lbp_stats --trace <workload>           alias for `trace`
+ *
+ * Options:
+ *   --level=aggressive|traditional   compile configuration
+ *   --buffer=N                       loop buffer size in ops (256)
+ *   --engine=decoded|reference       simulator engine (decoded)
+ *   --json=FILE                      write the registry dump as JSON
+ *   --csv=FILE                       write the registry dump as CSV
+ *   --out=FILE                       trace output path
+ *   --sample=N                       keep 1/N of Fetch/Branch/Nullify
+ *   --capacity=N                     trace ring capacity in events
+ *
+ * `trace` cross-checks the trace against the registry before writing:
+ * the sum of ops carried by buffer-hit events must equal the run's
+ * sim.opsFromBuffer counter exactly (structural kinds are exempt from
+ * sampling and aggregates are immune to ring overflow, so this holds
+ * at any capacity). A mismatch is a simulator/tracing bug and exits
+ * nonzero.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hh"
+#include "obs/json.hh"
+#include "obs/publish.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+#include "power/fetch_energy.hh"
+#include "sim/vliw_sim.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace lbp;
+
+struct Options
+{
+    std::string command;
+    std::vector<std::string> positional;
+    OptLevel level = OptLevel::Aggressive;
+    int bufferOps = 256;
+    SimEngine engine = SimEngine::DECODED;
+    std::string jsonPath;
+    std::string csvPath;
+    std::string outPath;
+    std::uint64_t sample = 1;
+    std::size_t capacity = 1u << 20;
+};
+
+int
+usage()
+{
+    std::cerr
+        << "usage: lbp_stats run <workload> [--level=L] [--buffer=N]\n"
+        << "                 [--engine=E] [--json=F] [--csv=F]\n"
+        << "       lbp_stats diff <a.json> <b.json>\n"
+        << "       lbp_stats trace <workload> [--out=F] [--sample=N]\n"
+        << "                 [--capacity=N] [--buffer=N] [--level=L]\n"
+        << "       lbp_stats list\n"
+        << "\nworkloads:\n";
+    for (const auto &w : workloads::allWorkloads())
+        std::cerr << "  " << w.name << "  (" << w.description << ")\n";
+    return 2;
+}
+
+bool
+parseArgs(int argc, char **argv, Options &o)
+{
+    if (argc < 2)
+        return false;
+    o.command = argv[1];
+    if (o.command == "--trace")
+        o.command = "trace";
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto val = [&](const char *key) -> const char * {
+            const size_t n = std::strlen(key);
+            if (arg.compare(0, n, key) == 0 && arg[n] == '=')
+                return arg.c_str() + n + 1;
+            return nullptr;
+        };
+        if (const char *v = val("--level")) {
+            const std::string s = v;
+            if (s == "aggressive") {
+                o.level = OptLevel::Aggressive;
+            } else if (s == "traditional") {
+                o.level = OptLevel::Traditional;
+            } else {
+                std::cerr << "unknown level '" << s << "'\n";
+                return false;
+            }
+        } else if (const char *v2 = val("--buffer")) {
+            o.bufferOps = std::atoi(v2);
+        } else if (const char *v3 = val("--engine")) {
+            const std::string s = v3;
+            if (s == "decoded") {
+                o.engine = SimEngine::DECODED;
+            } else if (s == "reference") {
+                o.engine = SimEngine::REFERENCE;
+            } else {
+                std::cerr << "unknown engine '" << s << "'\n";
+                return false;
+            }
+        } else if (const char *v4 = val("--json")) {
+            o.jsonPath = v4;
+        } else if (const char *v5 = val("--csv")) {
+            o.csvPath = v5;
+        } else if (const char *v6 = val("--out")) {
+            o.outPath = v6;
+        } else if (const char *v7 = val("--sample")) {
+            o.sample = std::strtoull(v7, nullptr, 10);
+            if (o.sample == 0)
+                o.sample = 1;
+        } else if (const char *v8 = val("--capacity")) {
+            o.capacity = std::strtoull(v8, nullptr, 10);
+            if (o.capacity == 0)
+                o.capacity = 1;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown option '" << arg << "'\n";
+            return false;
+        } else {
+            o.positional.push_back(arg);
+        }
+    }
+    return true;
+}
+
+/** Compile + simulate one workload, publishing everything into @p r. */
+SimStats
+runWorkload(const Options &o, const std::string &name,
+            obs::Registry &r, obs::TraceSink *trace)
+{
+    Program prog = workloads::buildWorkload(name);
+    CompileOptions copts;
+    copts.level = o.level;
+    copts.bufferOps = o.bufferOps;
+    copts.obsRegistry = &r;
+    CompileResult cr;
+    compileProgram(prog, copts, cr);
+
+    SimConfig sc;
+    sc.bufferOps = o.bufferOps;
+    sc.engine = o.engine;
+    sc.trace = trace;
+    VliwSim sim(cr.code, sc);
+    const SimStats stats = sim.run();
+    if (stats.checksum != cr.goldenChecksum) {
+        std::cerr << "FATAL: simulation checksum "
+                  << stats.checksum << " != golden "
+                  << cr.goldenChecksum << "\n";
+        std::exit(1);
+    }
+
+    r.info("workload", name);
+    r.info("level", o.level == OptLevel::Aggressive ? "aggressive"
+                                                    : "traditional");
+    r.info("engine", o.engine == SimEngine::DECODED ? "decoded"
+                                                    : "reference");
+    r.info("buffer_ops", std::to_string(o.bufferOps));
+    publishCompileResult(r, cr);
+    publishSimStats(r, stats);
+    publishFetchEnergy(r,
+                       computeFetchEnergy(stats, o.bufferOps));
+    return stats;
+}
+
+bool
+writeFile(const std::string &path,
+          const std::function<void(std::ostream &)> &emit)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "cannot open '" << path << "' for writing\n";
+        return false;
+    }
+    emit(os);
+    return os.good();
+}
+
+obs::Json
+loadJson(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::cerr << "cannot open '" << path << "'\n";
+        std::exit(1);
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    std::string error;
+    obs::Json doc = obs::Json::parse(buf.str(), error);
+    if (!error.empty()) {
+        std::cerr << path << ": parse error: " << error << "\n";
+        std::exit(1);
+    }
+    return doc;
+}
+
+int
+cmdRun(const Options &o)
+{
+    if (o.positional.size() != 1)
+        return usage();
+    obs::Registry reg;
+    runWorkload(o, o.positional[0], reg, nullptr);
+    reg.writeTable(std::cout);
+    if (!o.jsonPath.empty()) {
+        if (!writeFile(o.jsonPath, [&](std::ostream &os) {
+                reg.toJson().write(os);
+                os << "\n";
+            }))
+            return 1;
+        std::cout << "registry dump: " << o.jsonPath << "\n";
+    }
+    if (!o.csvPath.empty()) {
+        if (!writeFile(o.csvPath, [&](std::ostream &os) {
+                reg.writeCsv(os);
+            }))
+            return 1;
+        std::cout << "registry csv: " << o.csvPath << "\n";
+    }
+    return 0;
+}
+
+int
+cmdDiff(const Options &o)
+{
+    if (o.positional.size() != 2)
+        return usage();
+    const obs::Json a = loadJson(o.positional[0]);
+    const obs::Json b = loadJson(o.positional[1]);
+    const auto diffs = obs::diffRegistries(a, b);
+    if (diffs.empty()) {
+        std::cout << "identical (" << o.positional[0] << " vs "
+                  << o.positional[1] << ")\n";
+        return 0;
+    }
+    std::cout << diffs.size() << " field(s) differ:\n";
+    for (const auto &d : diffs) {
+        std::cout << "  " << d.key << ": " << d.a << " -> " << d.b
+                  << "\n";
+    }
+    return 1;
+}
+
+int
+cmdTrace(const Options &o)
+{
+    if (o.positional.size() != 1)
+        return usage();
+    const std::string &name = o.positional[0];
+
+    obs::Registry reg;
+    obs::TraceSink sink(o.capacity, o.sample);
+    const SimStats stats = runWorkload(o, name, reg, &sink);
+
+    // The headline integrity check: buffer-hit events carry the ops
+    // count of each bundle issued from the buffer, so their sum must
+    // equal the simulator's own counter exactly.
+    const std::int64_t bufOps =
+        sink.sumA(obs::TraceKind::BufHit);
+    if (bufOps < 0 ||
+        static_cast<std::uint64_t>(bufOps) != stats.opsFromBuffer) {
+        std::cerr << "FATAL: trace buffer-hit ops " << bufOps
+                  << " != sim.opsFromBuffer " << stats.opsFromBuffer
+                  << "\n";
+        return 1;
+    }
+
+    std::vector<std::string> loopNames;
+    for (const auto &ls : stats.loops)
+        loopNames.push_back(ls.name);
+
+    const std::string out =
+        o.outPath.empty() ? name + ".trace.json" : o.outPath;
+    if (!writeFile(out, [&](std::ostream &os) {
+            obs::writeChromeTrace(os, sink, loopNames);
+        }))
+        return 1;
+
+    const auto spans = obs::residencyTimeline(sink);
+    std::uint64_t bufferedCycles = 0;
+    for (const auto &sp : spans)
+        if (sp.fromBuffer)
+            bufferedCycles += sp.exitCycle - sp.enterCycle;
+
+    std::cout << "workload:         " << name << "\n"
+              << "cycles:           " << stats.cycles << "\n"
+              << "events recorded:  " << sink.size() << "\n"
+              << "events dropped:   " << sink.dropped() << "\n"
+              << "events sampled:   " << sink.sampledOut() << "\n"
+              << "loop activations: " << spans.size() << "\n"
+              << "buffered cycles:  " << bufferedCycles << "\n"
+              << "buffer-hit ops:   " << bufOps
+              << " (== sim.opsFromBuffer: ok)\n"
+              << "trace:            " << out << "\n"
+              << "load it at https://ui.perfetto.dev or "
+                 "chrome://tracing\n";
+    return 0;
+}
+
+int
+cmdList()
+{
+    for (const auto &w : workloads::allWorkloads())
+        std::cout << w.name << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    if (!parseArgs(argc, argv, o))
+        return usage();
+    if (o.command == "run")
+        return cmdRun(o);
+    if (o.command == "diff")
+        return cmdDiff(o);
+    if (o.command == "trace")
+        return cmdTrace(o);
+    if (o.command == "list")
+        return cmdList();
+    return usage();
+}
