@@ -1,11 +1,16 @@
 #include "bench_common.hh"
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <tuple>
 
+#include "obs/loop_report.hh"
 #include "support/logging.hh"
 
 namespace lbp
@@ -92,6 +97,65 @@ rule(char c, int n)
     for (int i = 0; i < n; ++i)
         std::putchar(c);
     std::putchar('\n');
+}
+
+obs::Json
+benchJsonDoc(const std::string &benchName)
+{
+    using obs::Json;
+    Json doc = Json::object();
+    // Schema history:
+    //   1  ad-hoc fprintf layouts, one per bench
+    //   2  shared obs::Json emitter; adds "machine" and "config"
+    doc.set("schema_version", Json::integer(2));
+    doc.set("bench", Json::str(benchName));
+
+    Json machine = Json::object();
+    machine.set("hardware_concurrency",
+                Json::integer(std::thread::hardware_concurrency()));
+    machine.set("compiler", Json::str(__VERSION__));
+    machine.set("pointer_bits", Json::integer(8 * sizeof(void *)));
+    doc.set("machine", std::move(machine));
+    return doc;
+}
+
+void
+writeBenchJson(const std::string &path, const obs::Json &doc)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    doc.write(os);
+    os << "\n";
+    if (!os.good()) {
+        std::fprintf(stderr, "write to %s failed\n", path.c_str());
+        std::exit(1);
+    }
+    std::printf("wrote %s\n", path.c_str());
+}
+
+void
+dumpLoopScorecard(const std::string &workload, OptLevel level,
+                  int bufferOps)
+{
+    CompileResult &cr = compileBench(workload, level);
+    const SimStats st = simulate(cr, bufferOps);
+    const FetchEnergy fe = computeFetchEnergy(st, bufferOps);
+    const obs::LoopScorecard sc = obs::buildLoopScorecard(
+        workload, cr.loopLog, st, bufferOps, &fe);
+    obs::printScorecard(std::cout, sc);
+}
+
+void
+dumpLoopScorecards(OptLevel level, int bufferOps)
+{
+    for (const auto &name : benchNames()) {
+        dumpLoopScorecard(name, level, bufferOps);
+        std::putchar('\n');
+    }
 }
 
 } // namespace bench

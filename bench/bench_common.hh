@@ -13,6 +13,7 @@
 
 #include "core/compiler.hh"
 #include "core/metrics.hh"
+#include "obs/json.hh"
 #include "power/fetch_energy.hh"
 #include "sim/vliw_sim.hh"
 #include "workloads/registry.hh"
@@ -51,6 +52,34 @@ std::vector<std::string> benchNames();
 
 /** Print a horizontal rule. */
 void rule(char c = '-', int n = 78);
+
+/**
+ * Start a machine-readable bench document. Every BENCH_*.json shares
+ * this header so the regression gate can diff them uniformly:
+ *
+ *   schema_version   2 (obs::Json emitter with machine/config blocks)
+ *   bench            the bench's short name ("fig7", "sim_fastpath")
+ *   machine          host identity (concurrency, compiler, pointer
+ *                    width) — identity, not data; diffs ignore it
+ *
+ * Callers add their own "config" block and result sections.
+ */
+obs::Json benchJsonDoc(const std::string &benchName);
+
+/** Write a bench document to @p path; exits the process on I/O error. */
+void writeBenchJson(const std::string &path, const obs::Json &doc);
+
+/**
+ * Compile (cached) + simulate one workload and print its per-loop
+ * scorecard (obs::buildLoopScorecard join of the compiler decision
+ * log with simulator residency). The scorecard's internal invariant
+ * — per-loop buffer ops summing to sim.opsFromBuffer — is asserted.
+ */
+void dumpLoopScorecard(const std::string &workload, OptLevel level,
+                       int bufferOps);
+
+/** `dumpLoopScorecard` over every registered workload. */
+void dumpLoopScorecards(OptLevel level, int bufferOps);
 
 } // namespace bench
 } // namespace lbp

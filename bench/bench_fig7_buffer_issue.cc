@@ -7,9 +7,17 @@
  * aggregates: mean buffer issue at 256 ops excluding jpeg_enc and
  * mpeg2_enc (paper: 38.7% traditional -> 89.0% transformed, a 137.5%
  * relative increase).
+ *
+ * Usage: bench_fig7_buffer_issue [--json[=PATH]] [--loops]
+ *   --json[=P]  machine-readable results (default BENCH_fig7.json);
+ *               fractions are deterministic, so the dump is diffable
+ *               counter-exact by the regression gate
+ *   --loops     per-loop scorecard for every workload (aggressive,
+ *               256-op buffer) after the tables
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "bench_common.hh"
 #include "support/stats.hh"
@@ -78,11 +86,75 @@ headlineMean(const std::vector<Series> &rows, size_t sizeIdx)
     return n ? sum / n : 0;
 }
 
+void
+writeJson(const std::string &path, const std::vector<Series> &trad,
+          const std::vector<Series> &aggr, double headlineTrad,
+          double headlineAggr)
+{
+    using obs::Json;
+    Json doc = benchJsonDoc("fig7");
+
+    Json config = Json::object();
+    Json bs = Json::array();
+    for (int s : figureBufferSizes())
+        bs.push(Json::integer(s));
+    config.set("buffer_sizes", std::move(bs));
+    doc.set("config", std::move(config));
+
+    auto seriesJson = [&](const std::vector<Series> &rows) {
+        Json arr = Json::array();
+        for (const auto &s : rows) {
+            Json row = Json::object();
+            row.set("workload", Json::str(s.name));
+            Json fr = Json::array();
+            for (double f : s.frac)
+                fr.push(Json::number(f));
+            row.set("bufferFraction", std::move(fr));
+            arr.push(std::move(row));
+        }
+        return arr;
+    };
+    doc.set("traditional", seriesJson(trad));
+    doc.set("aggressive", seriesJson(aggr));
+
+    Json headline = Json::object();
+    headline.set("traditional256", Json::number(headlineTrad));
+    headline.set("aggressive256", Json::number(headlineAggr));
+    if (headlineTrad > 0) {
+        headline.set("relativeIncrease",
+                     Json::number((headlineAggr - headlineTrad) /
+                                  headlineTrad));
+    }
+    doc.set("headline", std::move(headline));
+
+    writeBenchJson(path, doc);
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool json = false;
+    bool loops = false;
+    std::string jsonPath = "BENCH_fig7.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json = true;
+            jsonPath = arg.substr(7);
+        } else if (arg == "--loops") {
+            loops = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--json[=PATH]] [--loops]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
     std::printf("=== Figure 7: instruction issue from the loop buffer "
                 "(%%) ===\n\n");
 
@@ -109,5 +181,13 @@ main()
         std::printf("  relative increase: %s   (paper: 137.5%%)\n",
                     pct((a - t) / t).c_str());
     }
+
+    if (loops) {
+        std::printf("\n=== Per-loop scorecards (aggressive, 256-op "
+                    "buffer) ===\n\n");
+        dumpLoopScorecards(OptLevel::Aggressive, 256);
+    }
+    if (json)
+        writeJson(jsonPath, trad, aggr, t, a);
     return 0;
 }

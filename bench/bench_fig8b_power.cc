@@ -7,9 +7,18 @@
  * "transformed buffered" (aggressive code + 256-op buffer; paper
  * average -72.3%). Per-access energies come from the CACTI-calibrated
  * model (41.8x memory/buffer ratio at 256 ops / 512 KB, §7.2).
+ *
+ * Usage: bench_fig8b_power [--json[=PATH]] [--loops]
+ *   --json[=P]  machine-readable results (default BENCH_fig8b.json);
+ *               energies are deterministic, so the dump is diffable
+ *               counter-exact by the regression gate
+ *   --loops     per-loop scorecard for every workload (aggressive,
+ *               256-op buffer) after the table
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.hh"
 #include "support/stats.hh"
@@ -18,8 +27,28 @@ using namespace lbp;
 using namespace lbp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool json = false;
+    bool loops = false;
+    std::string jsonPath = "BENCH_fig8b.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json = true;
+            jsonPath = arg.substr(7);
+        } else if (arg == "--loops") {
+            loops = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--json[=PATH]] [--loops]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
     std::printf("=== Figure 8b: normalized instruction fetch power "
                 "===\n\n");
     const CactiLite model;
@@ -31,6 +60,13 @@ main()
                 "base-buffered", "transformed");
     rule();
 
+    struct Row
+    {
+        std::string name;
+        double baseBuffered = 0;
+        double transformed = 0;
+    };
+    std::vector<Row> rows;
     double sumBase = 0, sumTrans = 0;
     int n = 0;
     for (const auto &name : benchNames()) {
@@ -50,6 +86,7 @@ main()
         const double t = transformed / unbuffered;
         std::printf("%-12s %12.3f %14.3f %16.3f\n", name.c_str(), 1.0,
                     b, t);
+        rows.push_back({name, b, t});
         sumBase += b;
         sumTrans += t;
         ++n;
@@ -61,5 +98,38 @@ main()
                 "(paper: 34.6%%)\n", pct(1.0 - avgBase).c_str());
     std::printf("average transformed-buffered reduction: %s "
                 "(paper: 72.3%%)\n", pct(1.0 - avgTrans).c_str());
+
+    if (loops) {
+        std::printf("\n=== Per-loop scorecards (aggressive, 256-op "
+                    "buffer) ===\n\n");
+        dumpLoopScorecards(OptLevel::Aggressive, 256);
+    }
+    if (json) {
+        using obs::Json;
+        Json doc = benchJsonDoc("fig8b");
+
+        Json config = Json::object();
+        config.set("bufferOps", Json::integer(256));
+        config.set("memoryBufferRatio",
+                   Json::number(model.calibratedRatio()));
+        doc.set("config", std::move(config));
+
+        Json pts = Json::array();
+        for (const auto &r : rows) {
+            Json row = Json::object();
+            row.set("workload", Json::str(r.name));
+            row.set("baseBuffered", Json::number(r.baseBuffered));
+            row.set("transformed", Json::number(r.transformed));
+            pts.push(std::move(row));
+        }
+        doc.set("points", std::move(pts));
+
+        Json avg = Json::object();
+        avg.set("baseBuffered", Json::number(avgBase));
+        avg.set("transformed", Json::number(avgTrans));
+        doc.set("average", std::move(avg));
+
+        writeBenchJson(jsonPath, doc);
+    }
     return 0;
 }

@@ -136,20 +136,7 @@ writeJson(const std::string &path,
 {
     using obs::Json;
 
-    Json doc = Json::object();
-    // Schema history:
-    //   1  ad-hoc fprintf layout (bench/quick/threads/points)
-    //   2  obs::Json emitter; adds "machine" and "config" blocks
-    doc.set("schema_version", Json::integer(2));
-    doc.set("bench", Json::str("sim_fastpath"));
-
-    Json machine = Json::object();
-    machine.set("hardware_concurrency",
-                Json::integer(std::thread::hardware_concurrency()));
-    machine.set("compiler", Json::str(__VERSION__));
-    machine.set("pointer_bits",
-                Json::integer(8 * sizeof(void *)));
-    doc.set("machine", machine);
+    Json doc = benchJsonDoc("sim_fastpath");
 
     Json config = Json::object();
     config.set("quick", Json::boolean(quick));
@@ -202,15 +189,7 @@ writeJson(const std::string &path,
     }
     doc.set("points", pts);
 
-    std::ofstream os(path);
-    if (!os) {
-        std::fprintf(stderr, "cannot open %s for writing\n",
-                     path.c_str());
-        std::exit(1);
-    }
-    doc.write(os);
-    os << "\n";
-    std::printf("wrote %s\n", path.c_str());
+    writeBenchJson(path, doc);
 }
 
 } // namespace

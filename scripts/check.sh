@@ -3,10 +3,14 @@
 # test suite (perf-labeled smoke excluded for speed), then the engine
 # differential and the fast-path bench smoke (which re-verifies
 # decoded-vs-reference equivalence on every sweep point it times).
-# Finishes with an ASan+UBSan build running the observability surface
+# Continues with an ASan+UBSan build running the observability surface
 # (obs-labeled tests + a traced workload through lbp_stats), since the
 # trace ring and JSON parser are exactly the kind of index-arithmetic
-# code sanitizers pay for.
+# code sanitizers pay for, then a TSan build of the same surface
+# (thread pool + concurrent registry updates). Finishes with the bench
+# regression gate: re-runs the figure benches and diffs their JSON
+# against the checked-in BENCH_*.json baselines — counters exact,
+# timings and the machine block tolerated (lbp_stats diff policy).
 #
 # Usage: scripts/check.sh [build-dir]   (default: build-check)
 
@@ -15,6 +19,7 @@ cd "$(dirname "$0")/.."
 
 BUILD=${1:-build-check}
 SAN_BUILD="$BUILD-asan"
+TSAN_BUILD="$BUILD-tsan"
 
 cmake -B "$BUILD" -S . \
     -DCMAKE_BUILD_TYPE=Release \
@@ -48,5 +53,31 @@ ctest --test-dir "$SAN_BUILD" --output-on-failure -L obs
 "$SAN_BUILD"/tools/lbp_stats diff \
     "$SAN_BUILD"/adpcm_dec.stats.json \
     "$SAN_BUILD"/adpcm_dec.stats.json
+
+# TSan pass: the thread pool plus concurrent obs-registry updates
+# (tests/test_obs_concurrency.cc) are the only intentionally
+# multi-threaded surface; prove the create-then-mutate-disjoint
+# pattern and the pool's submit/wait handoff race-free.
+cmake -B "$TSAN_BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-O1 -g -fsanitize=thread"
+cmake --build "$TSAN_BUILD" -j "$(nproc)" \
+    --target lbp_obs_tests lbp_stats
+ctest --test-dir "$TSAN_BUILD" --output-on-failure -L obs
+
+# Bench regression gate: figure results must match the checked-in
+# baselines counter-exact (fractions, energies, cycles); wall-clock
+# keys and the machine block are ignored by the diff policy.
+"$BUILD"/bench/bench_fig7_buffer_issue \
+    --json="$BUILD"/BENCH_fig7.json >/dev/null
+"$BUILD"/tools/lbp_stats diff BENCH_fig7.json "$BUILD"/BENCH_fig7.json
+"$BUILD"/bench/bench_fig8b_power \
+    --json="$BUILD"/BENCH_fig8b.json >/dev/null
+"$BUILD"/tools/lbp_stats diff BENCH_fig8b.json \
+    "$BUILD"/BENCH_fig8b.json
+"$BUILD"/bench/bench_sim_fastpath \
+    --json="$BUILD"/BENCH_sim_fastpath.json >/dev/null
+"$BUILD"/tools/lbp_stats diff BENCH_sim_fastpath.json \
+    "$BUILD"/BENCH_sim_fastpath.json
 
 echo "check.sh: all checks passed"

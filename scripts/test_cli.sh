@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# CLI-level tests for tools/lbp_stats, driven by ctest (label: obs).
+#
+#   test_cli.sh <lbp_stats-binary> <golden-dir> <case>
+#
+# Cases:
+#   run_golden    `run` table output matches the checked-in golden,
+#                 after dropping the nondeterministic phase-timing
+#                 gauges (names ending in ".ms") — every other line,
+#                 counters and energies included, is bit-exact.
+#   loops_golden  `loops` scorecard is fully deterministic (counters
+#                 and fixed-precision energies only) and matches the
+#                 golden verbatim.
+#   diff_exit     `diff` exits 0 on identical dumps and 1 on a dump
+#                 with one mutated counter, naming the mutated key.
+set -u
+
+LBP_STATS=$1
+GOLDEN_DIR=$2
+CASE=$3
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+case "$CASE" in
+  run_golden)
+    "$LBP_STATS" run adpcm_dec --buffer=256 | grep -v '\.ms  *' \
+        > "$TMP/run.txt" || fail "lbp_stats run exited nonzero"
+    diff -u "$GOLDEN_DIR/lbp_stats_run_adpcm_dec.txt" "$TMP/run.txt" \
+        || fail "run output diverged from golden"
+    ;;
+
+  loops_golden)
+    "$LBP_STATS" loops adpcm_enc --buffer=256 > "$TMP/loops.txt" \
+        || fail "lbp_stats loops exited nonzero"
+    diff -u "$GOLDEN_DIR/lbp_stats_loops_adpcm_enc.txt" \
+        "$TMP/loops.txt" || fail "loops scorecard diverged from golden"
+    ;;
+
+  diff_exit)
+    "$LBP_STATS" run adpcm_dec --buffer=256 --json="$TMP/a.json" \
+        > /dev/null || fail "lbp_stats run --json exited nonzero"
+
+    "$LBP_STATS" diff "$TMP/a.json" "$TMP/a.json" > "$TMP/same.txt"
+    [ $? -eq 0 ] || fail "self-diff should exit 0"
+    grep -q identical "$TMP/same.txt" \
+        || fail "self-diff should print 'identical'"
+
+    # Mutate one counter value (cycles: 73781 -> 73782).
+    sed 's/"sim\.cycles": *\([0-9]*\)/"sim.cycles": 9\1/' \
+        "$TMP/a.json" > "$TMP/b.json"
+    cmp -s "$TMP/a.json" "$TMP/b.json" \
+        && fail "sed mutation did not change the dump"
+
+    "$LBP_STATS" diff "$TMP/a.json" "$TMP/b.json" > "$TMP/diff.txt"
+    rc=$?
+    [ $rc -eq 1 ] || fail "diff on mutated dump exited $rc, want 1"
+    grep -q 'sim\.cycles' "$TMP/diff.txt" \
+        || fail "diff output should name the mutated key"
+    ;;
+
+  *)
+    fail "unknown case '$CASE'"
+    ;;
+esac
+
+echo "PASS: $CASE"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/loop_report.hh"
 #include "support/logging.hh"
 
 namespace lbp
@@ -46,10 +47,27 @@ isBufferableBody(const Function &fn, const SchedProgram &code,
 
 BufferAllocResult
 allocateLoopBuffers(Program &prog, SchedProgram &code,
-                    const BufferAllocOptions &opts)
+                    const BufferAllocOptions &opts,
+                    obs::LoopDecisionLog *log)
 {
     BufferAllocResult res;
     const int cap = opts.bufferOps;
+
+    // Terminal verdict writer: assignment-only so re-allocation for a
+    // different buffer size replaces the verdict cleanly.
+    auto decide = [&](const std::string &name, obs::LoopFate fate,
+                      obs::LoopReason reason, int imageOps, int addr,
+                      double benefit) {
+        if (!log)
+            return;
+        obs::LoopDecision &d = log->decision(name);
+        d.fate = fate;
+        d.reason = reason;
+        d.finalOps = imageOps;
+        d.bufAddr = addr;
+        d.bufferCapacity = cap;
+        d.estDynOps = benefit;
+    };
 
     // Collect candidates from REC/EXEC ops in the IR.
     std::vector<Candidate> cands;
@@ -64,8 +82,17 @@ allocateLoopBuffers(Program &prog, SchedProgram &code,
                 // Reset any previous allocation.
                 op.bufAddr = -1;
                 op.numOps = 0;
-                if (!isBufferableBody(fn, code, op.target))
+                if (!isBufferableBody(fn, code, op.target)) {
+                    if (op.target < fn.blocks.size() &&
+                        !fn.blocks[op.target].dead) {
+                        decide(fn.name + "/" +
+                                   fn.blocks[op.target].name,
+                               obs::LoopFate::Rejected,
+                               obs::LoopReason::NotSimple, 0, -1,
+                               0.0);
+                    }
                     continue;
+                }
                 const SchedBlock &body =
                     code.functions[fn.id].blocks[op.target];
                 Candidate c;
@@ -125,6 +152,12 @@ allocateLoopBuffers(Program &prog, SchedProgram &code,
 
     for (const auto &c : cands) {
         if (c.imageOps > cap || c.imageOps <= 0 || c.benefit <= 0) {
+            const obs::LoopReason why =
+                c.imageOps > cap    ? obs::LoopReason::TooLarge
+                : c.imageOps <= 0   ? obs::LoopReason::BadShape
+                                    : obs::LoopReason::ColdLoop;
+            decide(c.name, obs::LoopFate::Rejected, why, c.imageOps,
+                   -1, c.benefit);
             writeAssignment(c, -1);
             ++res.unbuffered;
             continue;
@@ -160,6 +193,8 @@ allocateLoopBuffers(Program &prog, SchedProgram &code,
                       bestAddr + c.imageOps) == offsets.end()) {
             offsets.push_back(bestAddr + c.imageOps);
         }
+        decide(c.name, obs::LoopFate::Buffered,
+               obs::LoopReason::None, c.imageOps, bestAddr, c.benefit);
         writeAssignment(c, bestAddr);
         ++res.buffered;
     }

@@ -16,6 +16,11 @@
 namespace lbp
 {
 
+namespace obs
+{
+class LoopDecisionLog;
+}
+
 struct BufferAllocOptions
 {
     int bufferOps = 256;
@@ -44,9 +49,15 @@ struct BufferAllocResult
  * numOps onto the REC/EXEC operations in both the scheduled code and
  * the IR. Existing assignments are overwritten (so the same compiled
  * code can be re-allocated for several buffer sizes).
+ *
+ * When @p log is given, every candidate loop's *terminal* decision
+ * fields (fate, reason, finalOps, bufAddr, bufferCapacity, estDynOps)
+ * are written by assignment — re-allocating for a different buffer
+ * size overwrites them while preserving transform attempts.
  */
 BufferAllocResult allocateLoopBuffers(Program &prog, SchedProgram &code,
-                                      const BufferAllocOptions &opts);
+                                      const BufferAllocOptions &opts,
+                                      obs::LoopDecisionLog *log = nullptr);
 
 } // namespace lbp
 

@@ -1,5 +1,6 @@
 #include "core/compiler.hh"
 
+#include "analysis/loop_info.hh"
 #include "ir/interpreter.hh"
 #include "ir/verifier.hh"
 #include "obs/phase_timer.hh"
@@ -101,7 +102,7 @@ compileProgram(const Program &input, const CompileOptions &opts,
     if (opts.level == OptLevel::Aggressive) {
         {
             auto ph = phase("04_peel");
-            out.peelStats = peelLoops(prog);
+            out.peelStats = peelLoops(prog, {}, &out.loopLog);
             verifyOrDie(prog);
             checkStage(prog, opts, out.goldenChecksum, "peel");
             ph.finishOps(prog.sizeOps());
@@ -112,7 +113,7 @@ compileProgram(const Program &input, const CompileOptions &opts,
 
         {
             auto ph = phase("05_if_convert");
-            out.ifConvertStats = ifConvertLoops(prog);
+            out.ifConvertStats = ifConvertLoops(prog, {}, &out.loopLog);
             verifyOrDie(prog, hyperOk);
             checkStage(prog, opts, out.goldenChecksum, "if-convert");
             ph.finishOps(prog.sizeOps());
@@ -120,7 +121,7 @@ compileProgram(const Program &input, const CompileOptions &opts,
 
         {
             auto ph = phase("06_collapse");
-            out.collapseStats = collapseLoops(prog);
+            out.collapseStats = collapseLoops(prog, {}, &out.loopLog);
             verifyOrDie(prog, hyperOk);
             checkStage(prog, opts, out.goldenChecksum, "collapse");
             ph.finishOps(prog.sizeOps());
@@ -129,7 +130,7 @@ compileProgram(const Program &input, const CompileOptions &opts,
         // Collapsing can expose newly-childless outer loops.
         {
             auto ph = phase("07_if_convert2");
-            auto s2 = ifConvertLoops(prog);
+            auto s2 = ifConvertLoops(prog, {}, &out.loopLog);
             out.ifConvertStats.loopsConverted += s2.loopsConverted;
             out.ifConvertStats.blocksMerged += s2.blocksMerged;
             out.ifConvertStats.predDefsInserted += s2.predDefsInserted;
@@ -141,7 +142,8 @@ compileProgram(const Program &input, const CompileOptions &opts,
 
         {
             auto ph = phase("08_branch_combine");
-            out.branchCombineStats = combineBranches(prog);
+            out.branchCombineStats =
+                combineBranches(prog, {}, &out.loopLog);
             verifyOrDie(prog, hyperOk);
             checkStage(prog, opts, out.goldenChecksum,
                        "branch-combine");
@@ -197,6 +199,38 @@ compileProgram(const Program &input, const CompileOptions &opts,
     }
     out.finalOps = prog.sizeOps();
 
+    // 6b. Classify every natural loop that survived the transforms.
+    // Loops whose shape can never become a hardware loop get their
+    // rejection recorded here (the transforms above only log loops
+    // they actually inspected); simple loops get their estimated
+    // dynamic op count from the refreshed profile, and their fate is
+    // left to buffer allocation.
+    for (const auto &fn : prog.functions) {
+        LoopInfo li(fn);
+        for (const auto &loop : li.loops()) {
+            const std::string name =
+                fn.name + "/" + fn.blocks[loop.header].name;
+            obs::LoopDecision &d = out.loopLog.decision(name);
+            double est = 0.0;
+            for (BlockId b : loop.blocks)
+                est += fn.blocks[b].weight * fn.blocks[b].sizeOps();
+            d.estDynOps = est;
+            if (d.fate != obs::LoopFate::Unknown)
+                continue;
+            if (!loop.children.empty()) {
+                d.fate = obs::LoopFate::Rejected;
+                d.reason = obs::LoopReason::NotInnermost;
+            } else if (loop.blocks.size() > 1) {
+                d.fate = obs::LoopFate::Rejected;
+                d.reason = obs::LoopReason::NotSimple;
+            } else if (!isSimpleLoopBody(fn.blocks[loop.header])) {
+                d.fate = obs::LoopFate::Rejected;
+                d.reason = obs::LoopReason::BadShape;
+            }
+            // else: simple hardware loop — buffer_alloc decides.
+        }
+    }
+
     // 7. Schedule.
     {
         auto ph = phase("13_schedule");
@@ -217,13 +251,30 @@ compileProgram(const Program &input, const CompileOptions &opts,
                 if (loopBody && opts.moduloSchedule) {
                     ModuloOptions mo;
                     mo.rotatingRegisters = opts.rotatingRegisters;
-                    sb = moduloScheduleLoop(bb, out.machine, mo);
+                    ModuloResult mres;
+                    sb = moduloScheduleLoop(bb, out.machine, mo,
+                                            &mres);
+                    obs::LoopAttempt a;
+                    a.transform = "modulo";
+                    a.opsBefore = bb.sizeOps();
                     if (sb.valid) {
                         ++out.moduloLoops;
+                        a.applied = true;
+                        a.opsAfter = sb.imageOps();
+                        a.note = "II " + std::to_string(sb.ii) +
+                                 " (res " +
+                                 std::to_string(mres.resMII) +
+                                 ", rec " +
+                                 std::to_string(mres.recMII) + ")";
                     } else {
                         sb = listScheduleBlock(bb, out.machine);
                         sb.isLoopBody = true;
+                        a.reason = obs::LoopReason::SchedFailed;
+                        a.opsAfter = bb.sizeOps();
+                        a.note = "list-scheduled fallback";
                     }
+                    out.loopLog.addAttempt(fn.name + "/" + bb.name,
+                                           std::move(a));
                 } else {
                     sb = listScheduleBlock(bb, out.machine);
                     sb.isLoopBody = loopBody;
@@ -238,7 +289,8 @@ compileProgram(const Program &input, const CompileOptions &opts,
         auto ph = phase("14_slot_lowering");
         out.slotStats = lowerProgramToSlots(prog, out.code,
                                             out.machine,
-                                            opts.predQueueDepth);
+                                            opts.predQueueDepth,
+                                            &out.loopLog);
     }
 
     // 9. Buffer allocation + link.
@@ -246,7 +298,8 @@ compileProgram(const Program &input, const CompileOptions &opts,
         auto ph = phase("15_buffer_alloc");
         BufferAllocOptions ba;
         ba.bufferOps = opts.bufferOps;
-        out.bufferAlloc = allocateLoopBuffers(prog, out.code, ba);
+        out.bufferAlloc =
+            allocateLoopBuffers(prog, out.code, ba, &out.loopLog);
         out.code.link();
         out.scheduledOps = out.code.sizeOps();
     }
@@ -257,8 +310,8 @@ reallocateBuffers(CompileResult &result, int bufferOps)
 {
     BufferAllocOptions ba;
     ba.bufferOps = bufferOps;
-    result.bufferAlloc =
-        allocateLoopBuffers(result.ir, result.code, ba);
+    result.bufferAlloc = allocateLoopBuffers(result.ir, result.code,
+                                             ba, &result.loopLog);
     result.code.link();
 }
 

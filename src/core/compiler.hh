@@ -27,6 +27,7 @@
 #include "core/buffer_alloc.hh"
 #include "core/slot_predication.hh"
 #include "mach/machine.hh"
+#include "obs/loop_report.hh"
 #include "profile/profile.hh"
 #include "sched/schedule.hh"
 #include "transform/branch_combine.hh"
@@ -107,6 +108,14 @@ struct CompileResult
     CountedLoopStats countedLoopStats;
     SlotLoweringStats slotStats;
     BufferAllocResult bufferAlloc;
+
+    /**
+     * Per-loop decision log: every transform attempt, the scheduler's
+     * modulo verdict, and buffer allocation's terminal fate, keyed by
+     * the stable loop identity "function/headerBlock". Joined with
+     * simulator residency stats by obs::buildLoopScorecard.
+     */
+    obs::LoopDecisionLog loopLog;
 
     int originalOps = 0;
     int finalOps = 0;      ///< static IR ops after transforms

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "analysis/liveness.hh"
+#include "obs/loop_report.hh"
 #include "support/logging.hh"
 
 namespace lbp
@@ -280,7 +281,8 @@ lowerBlockToSlots(const BasicBlock &irBlock, SchedBlock &sb,
 
 SlotLoweringStats
 lowerProgramToSlots(const Program &prog, SchedProgram &code,
-                    const Machine &machine, int predQueueDepth)
+                    const Machine &machine, int predQueueDepth,
+                    obs::LoopDecisionLog *log)
 {
     SlotLoweringStats stats;
     for (const auto &fn : prog.functions) {
@@ -313,8 +315,27 @@ lowerProgramToSlots(const Program &prog, SchedProgram &code,
                     }
                 }
             }
-            lowerBlockToSlots(bb, sb, machine, external, stats,
-                              predQueueDepth);
+            const int conflictsBefore = stats.blocksFailedConflict;
+            const int capacityBefore = stats.blocksFailedCapacity;
+            const bool ok = lowerBlockToSlots(bb, sb, machine, external,
+                                              stats, predQueueDepth);
+            if (log) {
+                obs::LoopAttempt a;
+                a.transform = "slot_lowering";
+                a.opsBefore = a.opsAfter = bb.sizeOps();
+                if (ok) {
+                    a.applied = true;
+                } else {
+                    a.reason = obs::LoopReason::PredSlotsExhausted;
+                    a.note =
+                        stats.blocksFailedConflict > conflictsBefore
+                            ? "slot conflict"
+                        : stats.blocksFailedCapacity > capacityBefore
+                            ? "clone capacity"
+                            : "lowering failed";
+                }
+                log->addAttempt(fn.name + "/" + bb.name, std::move(a));
+            }
         }
     }
     return stats;

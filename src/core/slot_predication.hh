@@ -34,6 +34,11 @@
 namespace lbp
 {
 
+namespace obs
+{
+class LoopDecisionLog;
+}
+
 struct SlotLoweringStats
 {
     int blocksAttempted = 0;
@@ -61,12 +66,16 @@ bool lowerBlockToSlots(const BasicBlock &irBlock, SchedBlock &sb,
 
 /**
  * Lower every scheduled simple-loop body in the program. Computes
- * cross-block predicate escapes per function automatically.
+ * cross-block predicate escapes per function automatically. When
+ * @p log is given, every loop body attempted gets a "slot_lowering"
+ * LoopAttempt (failures carry PredSlotsExhausted with the failure
+ * kind in the note).
  */
 SlotLoweringStats lowerProgramToSlots(const Program &prog,
                                       SchedProgram &code,
                                       const Machine &machine,
-                                      int predQueueDepth = 0);
+                                      int predQueueDepth = 0,
+                                      obs::LoopDecisionLog *log = nullptr);
 
 } // namespace lbp
 

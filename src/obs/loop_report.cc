@@ -1,0 +1,351 @@
+#include "obs/loop_report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "obs/registry.hh"
+#include "power/fetch_energy.hh"
+#include "sim/vliw_sim.hh"
+#include "support/logging.hh"
+
+namespace lbp
+{
+namespace obs
+{
+
+const char *
+loopReasonName(LoopReason r)
+{
+    switch (r) {
+      case LoopReason::None: return "none";
+      case LoopReason::TooLarge: return "TooLarge";
+      case LoopReason::HasCall: return "HasCall";
+      case LoopReason::AlreadyPredicated: return "AlreadyPredicated";
+      case LoopReason::Irreducible: return "Irreducible";
+      case LoopReason::MultiLatch: return "MultiLatch";
+      case LoopReason::BadShape: return "BadShape";
+      case LoopReason::NotInnermost: return "NotInnermost";
+      case LoopReason::NotCounted: return "NotCounted";
+      case LoopReason::TripTooSmall: return "TripTooSmall";
+      case LoopReason::TripTooLarge: return "TripTooLarge";
+      case LoopReason::NotProfitable: return "NotProfitable";
+      case LoopReason::NotSimple: return "NotSimple";
+      case LoopReason::MultiExit: return "MultiExit";
+      case LoopReason::PredSlotsExhausted:
+        return "PredSlotsExhausted";
+      case LoopReason::ColdLoop: return "ColdLoop";
+      case LoopReason::NoPreheader: return "NoPreheader";
+      case LoopReason::SchedFailed: return "SchedFailed";
+    }
+    return "?";
+}
+
+const char *
+loopFateName(LoopFate f)
+{
+    switch (f) {
+      case LoopFate::Unknown: return "unknown";
+      case LoopFate::Buffered: return "buffered";
+      case LoopFate::Rejected: return "rejected";
+      case LoopFate::Eliminated: return "eliminated";
+    }
+    return "?";
+}
+
+LoopDecision &
+LoopDecisionLog::decision(const std::string &name)
+{
+    auto it = index_.find(name);
+    if (it != index_.end())
+        return decisions_[it->second];
+    index_.emplace(name, decisions_.size());
+    decisions_.emplace_back();
+    decisions_.back().name = name;
+    return decisions_.back();
+}
+
+const LoopDecision *
+LoopDecisionLog::find(const std::string &name) const
+{
+    auto it = index_.find(name);
+    return it == index_.end() ? nullptr : &decisions_[it->second];
+}
+
+void
+LoopDecisionLog::addAttempt(const std::string &name, LoopAttempt a)
+{
+    LoopDecision &d = decision(name);
+    // Fixpoint drivers re-judge unchanged loops every pass; a repeat
+    // of the same verdict refreshes the entry instead of duplicating.
+    for (auto &prev : d.attempts) {
+        if (prev.transform == a.transform &&
+            prev.applied == a.applied && prev.reason == a.reason) {
+            prev = std::move(a);
+            return;
+        }
+    }
+    d.attempts.push_back(std::move(a));
+}
+
+LoopScorecard
+buildLoopScorecard(const std::string &workload,
+                   const LoopDecisionLog &log, const SimStats &stats,
+                   int bufferOps, const FetchEnergy *fe)
+{
+    LoopScorecard sc;
+    sc.workload = workload;
+    sc.bufferOps = bufferOps;
+    sc.totalOpsFetched = stats.opsFetched;
+    sc.totalOpsFromBuffer = stats.opsFromBuffer;
+
+    // Per-op fetch energies from the workload-level breakdown.
+    double memNjPerOp = 0, bufNjPerOp = 0;
+    if (fe) {
+        if (fe->opsFromMemory)
+            memNjPerOp = fe->memoryNj /
+                         static_cast<double>(fe->opsFromMemory);
+        if (fe->opsFromBuffer)
+            bufNjPerOp = fe->bufferNj /
+                         static_cast<double>(fe->opsFromBuffer);
+    }
+
+    // Simulator loops first: measured dynamics, fate from the joined
+    // decision (falling back to the buffer address the image carries).
+    for (std::size_t id = 0; id < stats.loops.size(); ++id) {
+        const LoopStats &ls = stats.loops[id];
+        ScorecardRow row;
+        row.name = ls.name;
+        row.loopId = static_cast<int>(id);
+        row.imageOps = ls.imageOps;
+        row.bufAddr = ls.bufAddr;
+        row.activations = ls.activations;
+        row.recordings = ls.recordings;
+        row.evictions = ls.evictions;
+        row.iterations = ls.iterations;
+        row.opsFromBuffer = ls.opsFromBuffer;
+        row.opsFromCache = ls.opsFromCache;
+        row.dynOps = ls.opsFromBuffer + ls.opsFromCache;
+        row.fate = ls.bufAddr >= 0 ? LoopFate::Buffered
+                                   : LoopFate::Rejected;
+        if (const LoopDecision *d = log.find(ls.name)) {
+            if (row.fate == LoopFate::Rejected)
+                row.reason = d->reason;
+            row.attempts = d->attempts;
+        } else if (row.fate == LoopFate::Rejected) {
+            row.reason = LoopReason::NotSimple;
+        }
+        if (row.fate != LoopFate::Buffered)
+            row.missedOps = row.opsFromCache;
+        row.energyNj =
+            static_cast<double>(row.opsFromCache) * memNjPerOp +
+            static_cast<double>(row.opsFromBuffer) * bufNjPerOp;
+        sc.rows.push_back(std::move(row));
+    }
+
+    // Decisions with no simulator twin: eliminated loops and natural
+    // loops that never became hardware loops. Their dynamics are the
+    // profile-weighted static estimate.
+    for (const LoopDecision &d : log.decisions()) {
+        bool joined = false;
+        for (const auto &ls : stats.loops) {
+            if (ls.name == d.name) {
+                joined = true;
+                break;
+            }
+        }
+        if (joined)
+            continue;
+        ScorecardRow row;
+        row.name = d.name;
+        row.loopId = -1;
+        row.fate = d.fate == LoopFate::Unknown ? LoopFate::Rejected
+                                               : d.fate;
+        row.reason = d.reason;
+        row.imageOps = d.finalOps;
+        row.bufAddr = d.bufAddr;
+        row.dynOps = static_cast<std::uint64_t>(
+            d.estDynOps < 0 ? 0 : d.estDynOps);
+        if (row.fate == LoopFate::Rejected) {
+            // Non-hardware loops fetch everything from the cache.
+            row.opsFromCache = row.dynOps;
+            row.missedOps = row.dynOps;
+            row.energyNj =
+                static_cast<double>(row.opsFromCache) * memNjPerOp;
+        }
+        row.attempts = d.attempts;
+        sc.rows.push_back(std::move(row));
+    }
+
+    std::sort(sc.rows.begin(), sc.rows.end(),
+              [](const ScorecardRow &a, const ScorecardRow &b) {
+                  if (a.dynOps != b.dynOps)
+                      return a.dynOps > b.dynOps;
+                  return a.name < b.name;
+              });
+
+    // The attribution invariant: per-loop buffer ops integrate to the
+    // aggregate counter (both engines maintain this by construction).
+    LBP_ASSERT(scorecardBufferOps(sc) == stats.opsFromBuffer,
+               "per-loop buffer-op attribution does not integrate: ",
+               scorecardBufferOps(sc), " != ", stats.opsFromBuffer);
+    return sc;
+}
+
+std::uint64_t
+scorecardBufferOps(const LoopScorecard &sc)
+{
+    std::uint64_t sum = 0;
+    for (const auto &row : sc.rows)
+        if (row.loopId >= 0)
+            sum += row.opsFromBuffer;
+    return sum;
+}
+
+namespace
+{
+
+std::string
+attemptsSummary(const ScorecardRow &row)
+{
+    std::string s;
+    for (const auto &a : row.attempts) {
+        if (!s.empty())
+            s += " ";
+        s += a.transform;
+        if (a.applied) {
+            const int d = a.opsAfter - a.opsBefore;
+            s += "(";
+            if (d >= 0)
+                s += "+";
+            s += std::to_string(d);
+            s += ")";
+        } else {
+            s += "!";
+            s += loopReasonName(a.reason);
+        }
+    }
+    return s;
+}
+
+} // namespace
+
+void
+printScorecard(std::ostream &os, const LoopScorecard &sc)
+{
+    os << "loop scorecard: " << sc.workload << "  (buffer "
+       << sc.bufferOps << " ops; " << sc.totalOpsFromBuffer << "/"
+       << sc.totalOpsFetched << " ops from buffer)\n";
+
+    std::size_t w = 4;
+    for (const auto &row : sc.rows)
+        w = std::max(w, row.name.size());
+
+    os << std::left << std::setw(static_cast<int>(w) + 2) << "loop"
+       << std::right << std::setw(4) << "id" << std::setw(11)
+       << "fate" << std::setw(20) << "reason" << std::setw(7)
+       << "image" << std::setw(7) << "@addr" << std::setw(12)
+       << "dynOps" << std::setw(12) << "bufOps" << std::setw(12)
+       << "missedOps" << std::setw(12) << "energyNj"
+       << "  attempts\n";
+
+    for (const auto &row : sc.rows) {
+        os << std::left << std::setw(static_cast<int>(w) + 2)
+           << row.name << std::right << std::setw(4);
+        if (row.loopId >= 0)
+            os << row.loopId;
+        else
+            os << "-";
+        os << std::setw(11) << loopFateName(row.fate)
+           << std::setw(20)
+           << (row.fate == LoopFate::Rejected
+                   ? loopReasonName(row.reason)
+                   : "-")
+           << std::setw(7) << row.imageOps << std::setw(7);
+        if (row.bufAddr >= 0)
+            os << row.bufAddr;
+        else
+            os << "-";
+        os << std::setw(12) << row.dynOps << std::setw(12)
+           << row.opsFromBuffer << std::setw(12) << row.missedOps
+           << std::setw(12) << std::fixed << std::setprecision(1)
+           << row.energyNj << std::defaultfloat << "  "
+           << attemptsSummary(row) << "\n";
+    }
+}
+
+Json
+scorecardToJson(const LoopScorecard &sc)
+{
+    Json root = Json::object();
+    root.set("workload", Json::str(sc.workload));
+    root.set("buffer_ops", Json::integer(sc.bufferOps));
+    root.set("ops_fetched", Json::uinteger(sc.totalOpsFetched));
+    root.set("ops_from_buffer",
+             Json::uinteger(sc.totalOpsFromBuffer));
+
+    Json rows = Json::array();
+    for (const auto &row : sc.rows) {
+        Json r = Json::object();
+        r.set("name", Json::str(row.name));
+        r.set("loop_id", Json::integer(row.loopId));
+        r.set("fate", Json::str(loopFateName(row.fate)));
+        r.set("reason", Json::str(loopReasonName(row.reason)));
+        r.set("image_ops", Json::integer(row.imageOps));
+        r.set("buf_addr", Json::integer(row.bufAddr));
+        r.set("activations", Json::uinteger(row.activations));
+        r.set("recordings", Json::uinteger(row.recordings));
+        r.set("evictions", Json::uinteger(row.evictions));
+        r.set("iterations", Json::uinteger(row.iterations));
+        r.set("ops_from_buffer", Json::uinteger(row.opsFromBuffer));
+        r.set("ops_from_cache", Json::uinteger(row.opsFromCache));
+        r.set("dyn_ops", Json::uinteger(row.dynOps));
+        r.set("missed_ops", Json::uinteger(row.missedOps));
+        r.set("energy_nj", Json::number(row.energyNj));
+        Json attempts = Json::array();
+        for (const auto &a : row.attempts) {
+            Json aj = Json::object();
+            aj.set("transform", Json::str(a.transform));
+            aj.set("applied", Json::boolean(a.applied));
+            aj.set("reason", Json::str(loopReasonName(a.reason)));
+            aj.set("ops_before", Json::integer(a.opsBefore));
+            aj.set("ops_after", Json::integer(a.opsAfter));
+            if (!a.note.empty())
+                aj.set("note", Json::str(a.note));
+            attempts.push(std::move(aj));
+        }
+        r.set("attempts", std::move(attempts));
+        rows.push(std::move(r));
+    }
+    root.set("loops", std::move(rows));
+    return root;
+}
+
+void
+publishScorecard(Registry &r, const LoopScorecard &sc,
+                 const std::string &prefix)
+{
+    for (std::size_t i = 0; i < sc.rows.size(); ++i) {
+        const ScorecardRow &row = sc.rows[i];
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%03zu", i);
+        const std::string p = prefix + "." + buf + ".";
+        r.info(p + "name", row.name);
+        r.info(p + "fate", loopFateName(row.fate));
+        r.info(p + "reason", loopReasonName(row.reason));
+        r.intGauge(p + "loopId").set(row.loopId);
+        r.intGauge(p + "imageOps").set(row.imageOps);
+        r.intGauge(p + "bufAddr").set(row.bufAddr);
+        r.counter(p + "dynOps").set(row.dynOps);
+        r.counter(p + "opsFromBuffer").set(row.opsFromBuffer);
+        r.counter(p + "opsFromCache").set(row.opsFromCache);
+        r.counter(p + "missedOps").set(row.missedOps);
+        r.counter(p + "evictions").set(row.evictions);
+        r.gauge(p + "energyNj").set(row.energyNj);
+    }
+}
+
+} // namespace obs
+} // namespace lbp

@@ -53,8 +53,11 @@ publishSimStats(Registry &r, const SimStats &s,
         r.intGauge(p + "bufAddr").set(ls.bufAddr);
         r.counter(p + "activations").set(ls.activations);
         r.counter(p + "recordings").set(ls.recordings);
+        r.counter(p + "evictions").set(ls.evictions);
         r.counter(p + "iterations").set(ls.iterations);
         r.counter(p + "bufferIterations").set(ls.bufferIterations);
+        r.counter(p + "opsFromBuffer").set(ls.opsFromBuffer);
+        r.counter(p + "opsFromCache").set(ls.opsFromCache);
     }
 }
 

@@ -38,6 +38,22 @@ Histogram::maxValue() const
     return bins_.empty() ? 0 : bins_.rbegin()->first;
 }
 
+std::int64_t
+Histogram::percentile(double q) const
+{
+    if (bins_.empty())
+        return 0;
+    q = std::min(1.0, std::max(0.0, q));
+    const double target = q * total();
+    double cum = 0;
+    for (const auto &kv : bins_) {
+        cum += kv.second;
+        if (cum >= target)
+            return kv.first;
+    }
+    return bins_.rbegin()->first;
+}
+
 void
 Registry::checkFresh(const std::string &name, const void *self) const
 {
@@ -175,6 +191,9 @@ Registry::toJson() const
         Json h = Json::object();
         h.set("total", Json::number(kv.second.total()));
         h.set("mean", Json::number(kv.second.mean()));
+        h.set("p50", Json::integer(kv.second.percentile(0.50)));
+        h.set("p95", Json::integer(kv.second.percentile(0.95)));
+        h.set("p99", Json::integer(kv.second.percentile(0.99)));
         Json bins = Json::array();
         for (const auto &bw : kv.second.bins()) {
             Json bin = Json::array();
@@ -203,10 +222,17 @@ Registry::writeCsv(std::ostream &os) const
            << "\n";
     for (const auto &kv : gauges_)
         os << "gauge," << kv.first << "," << kv.second.value() << "\n";
-    for (const auto &kv : hists_)
+    for (const auto &kv : hists_) {
+        os << "histp50," << kv.first << ","
+           << kv.second.percentile(0.50) << "\n";
+        os << "histp95," << kv.first << ","
+           << kv.second.percentile(0.95) << "\n";
+        os << "histp99," << kv.first << ","
+           << kv.second.percentile(0.99) << "\n";
         for (const auto &bw : kv.second.bins())
             os << "histbin," << kv.first << "." << bw.first << ","
                << bw.second << "\n";
+    }
 }
 
 void
@@ -228,6 +254,9 @@ Registry::writeTable(std::ostream &os) const
     for (const auto &kv : hists_) {
         os << kv.first << "  histogram total=" << kv.second.total()
            << " mean=" << kv.second.mean()
+           << " p50=" << kv.second.percentile(0.50)
+           << " p95=" << kv.second.percentile(0.95)
+           << " p99=" << kv.second.percentile(0.99)
            << " max=" << kv.second.maxValue() << "\n";
     }
 }

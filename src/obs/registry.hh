@@ -80,6 +80,13 @@ class Histogram
     double total() const;
     double mean() const;
     std::int64_t maxValue() const;
+
+    /**
+     * Weighted nearest-rank quantile: the smallest bin value whose
+     * cumulative weight reaches q * total (q in [0, 1]). Empty
+     * histograms yield 0.
+     */
+    std::int64_t percentile(double q) const;
     bool empty() const { return bins_.empty(); }
     const std::map<std::int64_t, double> &bins() const
     { return bins_; }

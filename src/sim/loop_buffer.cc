@@ -17,20 +17,26 @@ LoopBuffer::isResident(const LoopKey &key) const
 }
 
 void
-LoopBuffer::record(const LoopKey &key, int bufAddr, int sizeOps)
+LoopBuffer::record(const LoopKey &key, int bufAddr, int sizeOps,
+                   std::vector<LoopKey> *evictedOut)
 {
     LBP_ASSERT(bufAddr >= 0 && sizeOps > 0 &&
                bufAddr + sizeOps <= capacity_,
                "loop image does not fit the buffer: addr=", bufAddr,
                " size=", sizeOps, " cap=", capacity_);
+    if (evictedOut)
+        evictedOut->clear();
     // Invalidate overlapped images (and any stale image of this key).
     for (auto it = resident_.begin(); it != resident_.end();) {
         const bool overlaps = it->second.addr < bufAddr + sizeOps &&
                               bufAddr < it->second.addr +
                                             it->second.size;
         if (overlaps || it->first == key) {
-            if (!(it->first == key))
+            if (!(it->first == key)) {
                 ++evictions_;
+                if (evictedOut)
+                    evictedOut->push_back(it->first);
+            }
             it = resident_.erase(it);
         } else {
             ++it;

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
 #include "ir/types.hh"
 
@@ -50,8 +51,12 @@ class LoopBuffer
      * loop @p key. Any overlapping resident image is invalidated
      * (including a previous image of the same key at another offset).
      * Requires 0 <= bufAddr and bufAddr + sizeOps <= capacity.
+     * When @p evictedOut is non-null it is cleared and filled with
+     * the keys of *other* loops displaced by this recording (the
+     * per-loop eviction attribution both sim engines accumulate).
      */
-    void record(const LoopKey &key, int bufAddr, int sizeOps);
+    void record(const LoopKey &key, int bufAddr, int sizeOps,
+                std::vector<LoopKey> *evictedOut = nullptr);
 
     /** Invalidate everything (e.g. context switch). */
     void clear();

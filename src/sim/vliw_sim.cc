@@ -124,6 +124,7 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
         fr.regs[fn.params[i]] = args[i];
 
     std::vector<LoopCtx> loopStack;
+    std::vector<LoopKey> evictedKeys;
 
     BlockId curBlk = fn.entry;
     size_t curBu = 0;
@@ -176,12 +177,21 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
         ++stats_.cycles;
 
         // Fetch accounting: are we executing this bundle from the
-        // loop buffer?
+        // loop buffer? Body ops are attributed to the innermost
+        // active loop either way, so per-loop opsFromBuffer sums
+        // exactly to the aggregate counter (the scorecard invariant).
         bool fromBuffer = false;
         if (!loopStack.empty()) {
             const LoopCtx &top = loopStack.back();
-            if (top.fromBuffer && curBlk == top.head)
-                fromBuffer = true;
+            if (curBlk == top.head) {
+                LoopStats &tls = stats_.loops[top.loopId];
+                if (top.fromBuffer) {
+                    fromBuffer = true;
+                    tls.opsFromBuffer += bu.sizeOps();
+                } else {
+                    tls.opsFromCache += bu.sizeOps();
+                }
+            }
         }
         stats_.opsFetched += bu.sizeOps();
         if (fromBuffer)
@@ -494,7 +504,12 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
                         ctx.fromBuffer = true;
                     } else {
                         buffer_.record(ctx.key, op.bufAddr,
-                                       body.imageOps());
+                                       body.imageOps(),
+                                       &evictedKeys);
+                        for (const LoopKey &ek : evictedKeys) {
+                            ++stats_.loops[loopTable_->idOf(ek)]
+                                  .evictions;
+                        }
                         ++ls.recordings;
                         ctx.fromBuffer = false;
                         recorded = true;

@@ -72,8 +72,11 @@ struct LoopStats
     int bufAddr = -1;
     std::uint64_t activations = 0;
     std::uint64_t recordings = 0;
+    std::uint64_t evictions = 0;       ///< images this loop lost
     std::uint64_t iterations = 0;
     std::uint64_t bufferIterations = 0;
+    std::uint64_t opsFromBuffer = 0;   ///< body ops issued from buffer
+    std::uint64_t opsFromCache = 0;    ///< body ops fetched from cache
 
     bool operator==(const LoopStats &o) const
     {
@@ -81,8 +84,11 @@ struct LoopStats
                imageOps == o.imageOps && bufAddr == o.bufAddr &&
                activations == o.activations &&
                recordings == o.recordings &&
+               evictions == o.evictions &&
                iterations == o.iterations &&
-               bufferIterations == o.bufferIterations;
+               bufferIterations == o.bufferIterations &&
+               opsFromBuffer == o.opsFromBuffer &&
+               opsFromCache == o.opsFromCache;
     }
 };
 

@@ -97,6 +97,7 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
         regs[df.params[i]] = args[i];
 
     std::vector<LoopCtx> loopStack;
+    std::vector<LoopKey> evictedKeys;
 
     BlockId curBlk = df.entry;
     size_t curBu = 0;
@@ -166,12 +167,21 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
         ++stats_.cycles;
 
         // Fetch accounting: are we executing this bundle from the
-        // loop buffer?
+        // loop buffer? Body ops are attributed to the innermost
+        // active loop either way, so per-loop opsFromBuffer sums
+        // exactly to the aggregate counter (the scorecard invariant).
         bool fromBuffer = false;
         if (!loopStack.empty()) {
             const LoopCtx &top = loopStack.back();
-            if (top.fromBuffer && curBlk == top.head)
-                fromBuffer = true;
+            if (curBlk == top.head) {
+                LoopStats &tls = stats_.loops[top.loopId];
+                if (top.fromBuffer) {
+                    fromBuffer = true;
+                    tls.opsFromBuffer += bu.sizeOps;
+                } else {
+                    tls.opsFromCache += bu.sizeOps;
+                }
+            }
         }
         stats_.opsFetched += bu.sizeOps;
         if (fromBuffer)
@@ -469,7 +479,11 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
                         ctx.fromBuffer = true;
                     } else {
                         buffer_.record(ctx.key, m->bufAddr,
-                                       m->imageOps);
+                                       m->imageOps, &evictedKeys);
+                        for (const LoopKey &ek : evictedKeys) {
+                            ++stats_.loops[loopTable_->idOf(ek)]
+                                  .evictions;
+                        }
                         ++ls.recordings;
                         ctx.fromBuffer = false;
                         recorded = true;

@@ -4,6 +4,7 @@
 
 #include "analysis/liveness.hh"
 #include "analysis/loop_info.hh"
+#include "obs/loop_report.hh"
 #include "support/logging.hh"
 
 namespace lbp
@@ -15,10 +16,22 @@ namespace
 bool
 combineInBlock(Function &fn, BlockId blkId,
                const BranchCombineOptions &opts,
-               BranchCombineStats &st)
+               BranchCombineStats &st, obs::LoopDecisionLog *log)
 {
     BasicBlock &bb = fn.blocks[blkId];
     Liveness live(fn);
+
+    auto reject = [&](std::string note) {
+        if (log) {
+            obs::LoopAttempt a;
+            a.transform = "branch_combine";
+            a.reason = obs::LoopReason::NotProfitable;
+            a.opsBefore = a.opsAfter = bb.sizeOps();
+            a.note = std::move(note);
+            log->addAttempt(fn.name + "/" + bb.name, std::move(a));
+        }
+        return false;
+    };
 
     // Candidate exits: guarded JUMP ops that are not the final
     // backedge/terminator.
@@ -34,8 +47,10 @@ combineInBlock(Function &fn, BlockId blkId,
         if (op.op == Opcode::JUMP && op.hasGuard())
             exits.push_back({i, op.guard, op.target});
     }
-    if (static_cast<int>(exits.size()) < opts.minExits)
-        return false;
+    if (static_cast<int>(exits.size()) < opts.minExits) {
+        return reject(std::to_string(exits.size()) + " side exit(s) < " +
+                      std::to_string(opts.minExits));
+    }
 
     // Eligibility per exit: between the exit's position and the end
     // of the block there must be (a) no stores/calls, (b) no writes to
@@ -70,8 +85,11 @@ combineInBlock(Function &fn, BlockId blkId,
         if (eligibleFrom(e))
             combine.push_back(e);
     }
-    if (static_cast<int>(combine.size()) < opts.minExits)
-        return false;
+    if (static_cast<int>(combine.size()) < opts.minExits) {
+        return reject(std::to_string(combine.size()) +
+                      " eligible exit(s) < " +
+                      std::to_string(opts.minExits));
+    }
 
     // Summary predicate ps, cleared at block top, or'd wherever an
     // exit predicate is produced. We or at the exit's position: an
@@ -137,13 +155,24 @@ combineInBlock(Function &fn, BlockId blkId,
 
     st.exitsCombined += static_cast<int>(combine.size());
     ++st.loopsCombined;
+    if (log) {
+        // NB: `bb` may dangle after newBlock; re-index.
+        const BasicBlock &nb2 = fn.blocks[blkId];
+        obs::LoopAttempt a;
+        a.transform = "branch_combine";
+        a.applied = true;
+        a.opsBefore = a.opsAfter = nb2.sizeOps();
+        a.note = std::to_string(combine.size()) + " exits combined";
+        log->addAttempt(fn.name + "/" + nb2.name, std::move(a));
+    }
     return true;
 }
 
 } // namespace
 
 BranchCombineStats
-combineBranches(Function &fn, const BranchCombineOptions &opts)
+combineBranches(Function &fn, const BranchCombineOptions &opts,
+                obs::LoopDecisionLog *log)
 {
     BranchCombineStats st;
     LoopInfo li(fn);
@@ -152,17 +181,18 @@ combineBranches(Function &fn, const BranchCombineOptions &opts)
             continue;
         if (!fn.blocks[loop.header].isHyperblock)
             continue;
-        combineInBlock(fn, loop.header, opts, st);
+        combineInBlock(fn, loop.header, opts, st, log);
     }
     return st;
 }
 
 BranchCombineStats
-combineBranches(Program &prog, const BranchCombineOptions &opts)
+combineBranches(Program &prog, const BranchCombineOptions &opts,
+                obs::LoopDecisionLog *log)
 {
     BranchCombineStats st;
     for (auto &fn : prog.functions) {
-        auto s = combineBranches(fn, opts);
+        auto s = combineBranches(fn, opts, log);
         st.loopsCombined += s.loopsCombined;
         st.exitsCombined += s.exitsCombined;
     }

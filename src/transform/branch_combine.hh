@@ -16,6 +16,11 @@
 namespace lbp
 {
 
+namespace obs
+{
+class LoopDecisionLog;
+}
+
 struct BranchCombineOptions
 {
     /** Combine only when at least this many side exits qualify. */
@@ -28,13 +33,19 @@ struct BranchCombineStats
     int exitsCombined = 0;
 };
 
-/** Combine side exits in eligible hyperblock loops of @p fn. */
+/**
+ * Combine side exits in eligible hyperblock loops of @p fn. When
+ * @p log is given, each candidate loop gets a "branch_combine"
+ * LoopAttempt recording the number of exits folded (or why none were).
+ */
 BranchCombineStats combineBranches(Function &fn,
-                                   const BranchCombineOptions &opts = {});
+                                   const BranchCombineOptions &opts = {},
+                                   obs::LoopDecisionLog *log = nullptr);
 
 /** Program-wide driver. */
 BranchCombineStats combineBranches(Program &prog,
-                                   const BranchCombineOptions &opts = {});
+                                   const BranchCombineOptions &opts = {},
+                                   obs::LoopDecisionLog *log = nullptr);
 
 } // namespace lbp
 

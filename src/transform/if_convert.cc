@@ -4,6 +4,7 @@
 #include <map>
 
 #include "analysis/loop_info.hh"
+#include "obs/loop_report.hh"
 #include "support/logging.hh"
 
 namespace lbp
@@ -20,35 +21,39 @@ struct InEdge
     bool onTaken = false;       ///< condition sense (taken vs fall)
 };
 
-/** Is every op in the block convertible? */
-bool
+/**
+ * Is every op in the block convertible? Returns LoopReason::None when
+ * eligible, otherwise the rejection reason.
+ */
+obs::LoopReason
 blockEligible(const BasicBlock &bb)
 {
     for (const auto &op : bb.ops) {
         switch (op.op) {
           case Opcode::CALL:
           case Opcode::RET:
+            return obs::LoopReason::HasCall;
           case Opcode::REC_CLOOP:
           case Opcode::REC_WLOOP:
           case Opcode::EXEC_CLOOP:
           case Opcode::EXEC_WLOOP:
           case Opcode::BR_CLOOP:
           case Opcode::BR_WLOOP:
-            return false;
+            return obs::LoopReason::BadShape;
           default:
             break;
         }
         // Pre-existing guards inside a candidate region are not
         // combined (would need predicate AND chains).
         if (op.hasGuard())
-            return false;
+            return obs::LoopReason::AlreadyPredicated;
         // Only terminating branches are supported as input shapes.
         if ((op.op == Opcode::BR || op.op == Opcode::JUMP) &&
             &op != &bb.ops.back()) {
-            return false;
+            return obs::LoopReason::BadShape;
         }
     }
-    return true;
+    return obs::LoopReason::None;
 }
 
 /**
@@ -56,23 +61,44 @@ blockEligible(const BasicBlock &bb)
  */
 bool
 convertLoop(Function &fn, const Loop &loop,
-            const IfConvertOptions &opts, IfConvertStats &st)
+            const IfConvertOptions &opts, IfConvertStats &st,
+            obs::LoopDecisionLog *log)
 {
     if (loop.blocks.size() < 2)
-        return false; // already simple
-    if (loop.latches.size() != 1)
-        return false;
-    const BlockId latch = loop.latches[0];
+        return false; // already simple — nothing to attempt
 
     int total_ops = 0;
-    for (BlockId b : loop.blocks) {
-        const BasicBlock &bb = fn.blocks[b];
-        if (!blockEligible(bb))
-            return false;
-        total_ops += bb.sizeOps();
-    }
-    if (total_ops > opts.maxOps)
+    for (BlockId b : loop.blocks)
+        total_ops += fn.blocks[b].sizeOps();
+
+    auto reject = [&](obs::LoopReason r, std::string note = "") {
+        if (log) {
+            obs::LoopAttempt a;
+            a.transform = "if_convert";
+            a.reason = r;
+            a.opsBefore = a.opsAfter = total_ops;
+            a.note = std::move(note);
+            log->addAttempt(fn.name + "/" +
+                                fn.blocks[loop.header].name,
+                            std::move(a));
+        }
         return false;
+    };
+
+    if (loop.latches.size() != 1)
+        return reject(obs::LoopReason::MultiLatch);
+    const BlockId latch = loop.latches[0];
+
+    for (BlockId b : loop.blocks) {
+        const obs::LoopReason why = blockEligible(fn.blocks[b]);
+        if (why != obs::LoopReason::None)
+            return reject(why, fn.blocks[b].name);
+    }
+    if (total_ops > opts.maxOps) {
+        return reject(obs::LoopReason::TooLarge,
+                      std::to_string(total_ops) + " > " +
+                          std::to_string(opts.maxOps) + " ops");
+    }
 
     // Topological order of body blocks with the backedge removed:
     // reuse function RPO restricted to loop blocks (header first).
@@ -82,13 +108,13 @@ convertLoop(Function &fn, const Loop &loop,
             topo.push_back(b);
     }
     if (topo.empty() || topo.front() != loop.header)
-        return false;
+        return reject(obs::LoopReason::Irreducible);
     if (topo.size() != loop.blocks.size())
-        return false;
+        return reject(obs::LoopReason::Irreducible);
     // The latch must be last in topological order; otherwise blocks
     // after the latch would need the backedge condition folded in.
     if (topo.back() != latch)
-        return false;
+        return reject(obs::LoopReason::BadShape, "latch not last");
 
     // Gather in-loop forward edges per target block.
     std::map<BlockId, std::vector<InEdge>> inEdges;
@@ -269,12 +295,14 @@ convertLoop(Function &fn, const Loop &loop,
             CmpCond c = term->cond;
             BlockId exit_tgt;
             if (tBack) {
-                if (fIn)
-                    return false; // latch falls into the body
+                if (fIn) // latch falls into the body
+                    return reject(obs::LoopReason::BadShape,
+                                  "latch falls into body");
                 exit_tgt = fTgt;
             } else {
                 if (tIn)
-                    return false;
+                    return reject(obs::LoopReason::BadShape,
+                                  "latch falls into body");
                 c = negateCond(c);
                 exit_tgt = tTgt;
                 // The original taken target becomes a side exit; the
@@ -364,14 +392,22 @@ convertLoop(Function &fn, const Loop &loop,
         }
     }
 
-    if (!backedgeEmitted)
-        return false; // should not happen; be safe
+    if (!backedgeEmitted) // should not happen; be safe
+        return reject(obs::LoopReason::BadShape, "no backedge");
 
     // Install the hyperblock into the header; kill the other blocks.
     BasicBlock &hb = fn.blocks[loop.header];
     hb.ops = std::move(merged);
     hb.fallthrough = loopExit;
     hb.isHyperblock = true;
+    if (log) {
+        obs::LoopAttempt a;
+        a.transform = "if_convert";
+        a.applied = true;
+        a.opsBefore = total_ops;
+        a.opsAfter = hb.sizeOps();
+        log->addAttempt(fn.name + "/" + hb.name, std::move(a));
+    }
     for (BlockId b : topo) {
         if (b == loop.header)
             continue;
@@ -387,7 +423,8 @@ convertLoop(Function &fn, const Loop &loop,
 } // namespace
 
 IfConvertStats
-ifConvertLoops(Function &fn, const IfConvertOptions &opts)
+ifConvertLoops(Function &fn, const IfConvertOptions &opts,
+               obs::LoopDecisionLog *log)
 {
     IfConvertStats st;
     // Convert one loop at a time, innermost first, recomputing the
@@ -414,7 +451,7 @@ ifConvertLoops(Function &fn, const IfConvertOptions &opts)
                 if (w <= 0)
                     continue;
             }
-            if (convertLoop(fn, l, opts, st)) {
+            if (convertLoop(fn, l, opts, st, log)) {
                 changed = true;
                 break; // loop forest is stale; recompute
             }
@@ -424,11 +461,12 @@ ifConvertLoops(Function &fn, const IfConvertOptions &opts)
 }
 
 IfConvertStats
-ifConvertLoops(Program &prog, const IfConvertOptions &opts)
+ifConvertLoops(Program &prog, const IfConvertOptions &opts,
+               obs::LoopDecisionLog *log)
 {
     IfConvertStats st;
     for (auto &fn : prog.functions) {
-        auto s = ifConvertLoops(fn, opts);
+        auto s = ifConvertLoops(fn, opts, log);
         st.loopsConverted += s.loopsConverted;
         st.blocksMerged += s.blocksMerged;
         st.predDefsInserted += s.predDefsInserted;

@@ -25,6 +25,11 @@
 namespace lbp
 {
 
+namespace obs
+{
+class LoopDecisionLog;
+}
+
 struct IfConvertOptions
 {
     /** Maximum hyperblock size in operations. */
@@ -45,13 +50,19 @@ struct IfConvertStats
     int sideExits = 0;
 };
 
-/** If-convert all eligible loops of @p fn (innermost first). */
+/**
+ * If-convert all eligible loops of @p fn (innermost first). When
+ * @p log is given, every loop considered gets an "if_convert"
+ * LoopAttempt (applied with op-count delta, or a rejection reason).
+ */
 IfConvertStats ifConvertLoops(Function &fn,
-                              const IfConvertOptions &opts = {});
+                              const IfConvertOptions &opts = {},
+                              obs::LoopDecisionLog *log = nullptr);
 
 /** Program-wide driver. */
 IfConvertStats ifConvertLoops(Program &prog,
-                              const IfConvertOptions &opts = {});
+                              const IfConvertOptions &opts = {},
+                              obs::LoopDecisionLog *log = nullptr);
 
 } // namespace lbp
 

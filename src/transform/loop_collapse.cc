@@ -4,6 +4,7 @@
 
 #include "analysis/dependence.hh"
 #include "analysis/loop_info.hh"
+#include "obs/loop_report.hh"
 #include "sched/modulo_scheduler.hh"
 #include "transform/counted_loop.hh"
 #include "support/logging.hh"
@@ -46,48 +47,70 @@ soleSuccessor(const BasicBlock &bb)
 
 bool
 collapseOne(Function &fn, LoopInfo &li, const Loop &outer,
-            const CollapseOptions &opts, CollapseStats &st)
+            const CollapseOptions &opts, CollapseStats &st,
+            obs::LoopDecisionLog *log)
 {
-    // Exactly one child loop, and that child is simple.
-    if (outer.children.size() != 1)
+    auto reject = [&](obs::LoopReason r, std::string note = "") {
+        if (log) {
+            obs::LoopAttempt a;
+            a.transform = "collapse";
+            a.reason = r;
+            a.note = std::move(note);
+            log->addAttempt(fn.name + "/" +
+                                fn.blocks[outer.header].name,
+                            std::move(a));
+        }
         return false;
+    };
+
+    // Exactly one child loop, and that child is simple.
+    if (outer.children.empty())
+        return false; // innermost: not a nest, nothing to attempt
+    if (outer.children.size() != 1)
+        return reject(obs::LoopReason::NotSimple, "multi-child nest");
     const Loop &inner = li.loops()[outer.children[0]];
     if (!li.isSimple(inner.index))
-        return false;
+        return reject(obs::LoopReason::NotSimple, "inner not simple");
     if (outer.latches.size() != 1)
-        return false;
+        return reject(obs::LoopReason::MultiLatch);
 
     // Inner loop: canonical counted with static trip.
     const InductionInfo &ii = inner.induction;
-    if (!ii.valid || !ii.startKnown || ii.constTrip < opts.minInnerTrip ||
-        ii.constTrip > opts.maxInnerTrip) {
-        return false;
-    }
+    if (!ii.valid || !ii.startKnown)
+        return reject(obs::LoopReason::NotCounted, "inner induction");
+    if (ii.constTrip < opts.minInnerTrip)
+        return reject(obs::LoopReason::TripTooSmall,
+                      "inner trip " + std::to_string(ii.constTrip));
+    if (ii.constTrip > opts.maxInnerTrip)
+        return reject(obs::LoopReason::TripTooLarge,
+                      "inner trip " + std::to_string(ii.constTrip));
     const BlockId innerBlk = inner.header;
     const BasicBlock &ib = fn.blocks[innerBlk];
     const Operation *iterm = ib.terminator();
     if (!iterm || iterm->op != Opcode::BR ||
         iterm->target != innerBlk || iterm->hasGuard()) {
-        return false;
+        return reject(obs::LoopReason::BadShape, "inner terminator");
     }
     // No side exits in the inner body.
     for (const auto &op : ib.ops) {
         if (op.isBranchOp() && &op != &ib.ops.back())
-            return false;
+            return reject(obs::LoopReason::MultiExit, "inner side exit");
     }
     if (ib.fallthrough == kNoBlock)
-        return false;
+        return reject(obs::LoopReason::BadShape, "inner fallthrough");
 
     // Outer loop: canonical counted/while induction so we can compute
     // its trip count in the preheader.
     const InductionInfo &oi = outer.induction;
-    if (!oi.valid || outer.preheader == kNoBlock)
-        return false;
+    if (!oi.valid)
+        return reject(obs::LoopReason::NotCounted, "outer induction");
+    if (outer.preheader == kNoBlock)
+        return reject(obs::LoopReason::NoPreheader);
     // Preheader must fall straight into the outer header.
     {
         auto succs = fn.blocks[outer.preheader].successors();
         if (succs.size() != 1 || succs[0] != outer.header)
-            return false;
+            return reject(obs::LoopReason::BadShape, "preheader edge");
     }
 
     // Walk the outer straight path: header -> ... -> innerPre ->
@@ -105,30 +128,30 @@ collapseOne(Function &fn, LoopInfo &li, const Loop &outer,
             continue;
         }
         if (!outer.contains(cur))
-            return false;
+            return reject(obs::LoopReason::BadShape, "path escapes loop");
         const BasicBlock &bb = fn.blocks[cur];
         if (!outerBlockEligible(bb, cur == latch))
-            return false;
+            return reject(obs::LoopReason::HasCall, bb.name);
         (seen_inner ? fPath : aPath).push_back(cur);
         if (cur == latch)
             break;
         const BlockId nxt = soleSuccessor(bb);
         if (nxt == kNoBlock)
-            return false;
+            return reject(obs::LoopReason::BadShape, bb.name);
         cur = nxt;
     }
     if (!seen_inner || cur != latch)
-        return false;
+        return reject(obs::LoopReason::BadShape, "no straight path");
 
     // The outer backedge must be the canonical bottom-test branch.
     const Operation *oterm = fn.blocks[latch].terminator();
     if (!oterm || oterm->op != Opcode::BR ||
         oterm->target != outer.header || oterm->hasGuard()) {
-        return false;
+        return reject(obs::LoopReason::BadShape, "outer backedge");
     }
     const BlockId outerExit = fn.blocks[latch].fallthrough;
     if (outerExit == kNoBlock || outer.contains(outerExit))
-        return false;
+        return reject(obs::LoopReason::BadShape, "outer exit");
 
     // Budget: outer ops pulled into the inner body, and
     // profitability relative to the inner body size (the guarded
@@ -138,14 +161,19 @@ collapseOne(Function &fn, LoopInfo &li, const Loop &outer,
         outer_ops += fn.blocks[b].sizeOps();
     for (BlockId b : fPath)
         outer_ops += fn.blocks[b].sizeOps() - (b == latch ? 1 : 0);
-    if (outer_ops > opts.maxOuterOps)
-        return false;
+    if (outer_ops > opts.maxOuterOps) {
+        return reject(obs::LoopReason::TooLarge,
+                      std::to_string(outer_ops) + " outer ops");
+    }
     const int inner_ops = fn.blocks[innerBlk].sizeOps();
     const int allowance = std::max(
         opts.minOuterAllowance,
         static_cast<int>(inner_ops * opts.maxOuterToInnerRatio));
-    if (outer_ops > allowance)
-        return false;
+    if (outer_ops > allowance) {
+        return reject(obs::LoopReason::NotProfitable,
+                      std::to_string(outer_ops) + " outer vs " +
+                          std::to_string(inner_ops) + " inner ops");
+    }
 
     // Predicates / counter for the collapsed form.
     const RegId tReg = fn.newReg();
@@ -262,8 +290,11 @@ collapseOne(Function &fn, LoopInfo &li, const Loop &outer,
         const double costPerOuter =
             static_cast<double>(ii.constTrip) *
             std::max(0, collII - innerII);
-        if (costPerOuter > savedPerOuter)
-            return false;
+        if (costPerOuter > savedPerOuter) {
+            return reject(obs::LoopReason::NotProfitable,
+                          "II " + std::to_string(innerII) + " -> " +
+                              std::to_string(collII));
+        }
     }
 
     // Compute total trips in the outer preheader:
@@ -271,7 +302,7 @@ collapseOne(Function &fn, LoopInfo &li, const Loop &outer,
     BasicBlock &pre = fn.blocks[outer.preheader];
     Operand outerTrips = emitTripCountOps(fn, pre, oi);
     if (outerTrips.isNone())
-        return false;
+        return reject(obs::LoopReason::NotCounted, "outer trip expr");
 
     auto emitPre = [&](Operation op) -> RegId {
         op.id = fn.newOpId();
@@ -333,13 +364,28 @@ collapseOne(Function &fn, LoopInfo &li, const Loop &outer,
 
     st.outerOpsPulledIn += outer_ops;
     ++st.loopsCollapsed;
+    if (log) {
+        const std::string name =
+            fn.name + "/" + fn.blocks[outer.header].name;
+        obs::LoopAttempt a;
+        a.transform = "collapse";
+        a.applied = true;
+        a.opsBefore = outer_ops + inner_ops;
+        a.opsAfter = static_cast<int>(nb.sizeOps());
+        a.note = "into " + fn.name + "/" + nb.name;
+        log->addAttempt(name, std::move(a));
+        // The outer loop is gone: its code lives, guarded, inside the
+        // collapsed inner loop.
+        log->decision(name).fate = obs::LoopFate::Eliminated;
+    }
     return true;
 }
 
 } // namespace
 
 CollapseStats
-collapseLoops(Function &fn, const CollapseOptions &opts)
+collapseLoops(Function &fn, const CollapseOptions &opts,
+              obs::LoopDecisionLog *log)
 {
     CollapseStats st;
     bool changed = true;
@@ -348,7 +394,7 @@ collapseLoops(Function &fn, const CollapseOptions &opts)
         changed = false;
         LoopInfo li(fn);
         for (const auto &loop : li.loops()) {
-            if (collapseOne(fn, li, loop, opts, st)) {
+            if (collapseOne(fn, li, loop, opts, st, log)) {
                 changed = true;
                 break;
             }
@@ -358,11 +404,12 @@ collapseLoops(Function &fn, const CollapseOptions &opts)
 }
 
 CollapseStats
-collapseLoops(Program &prog, const CollapseOptions &opts)
+collapseLoops(Program &prog, const CollapseOptions &opts,
+              obs::LoopDecisionLog *log)
 {
     CollapseStats st;
     for (auto &fn : prog.functions) {
-        auto s = collapseLoops(fn, opts);
+        auto s = collapseLoops(fn, opts, log);
         st.loopsCollapsed += s.loopsCollapsed;
         st.outerOpsPulledIn += s.outerOpsPulledIn;
     }

@@ -21,6 +21,11 @@
 namespace lbp
 {
 
+namespace obs
+{
+class LoopDecisionLog;
+}
+
 struct CollapseOptions
 {
     /** Skip when the outer (pulled-in) code exceeds this many ops. */
@@ -51,12 +56,20 @@ struct CollapseStats
     int outerOpsPulledIn = 0;
 };
 
-/** Collapse all eligible loop nests of @p fn. */
-CollapseStats collapseLoops(Function &fn, const CollapseOptions &opts = {});
+/**
+ * Collapse all eligible loop nests of @p fn. When @p log is given,
+ * each candidate nest's *outer* loop gets a "collapse" LoopAttempt;
+ * a collapsed outer loop's decision is marked Eliminated (its code
+ * now lives, guarded, in the inner loop's body).
+ */
+CollapseStats collapseLoops(Function &fn,
+                            const CollapseOptions &opts = {},
+                            obs::LoopDecisionLog *log = nullptr);
 
 /** Program-wide driver. */
 CollapseStats collapseLoops(Program &prog,
-                            const CollapseOptions &opts = {});
+                            const CollapseOptions &opts = {},
+                            obs::LoopDecisionLog *log = nullptr);
 
 } // namespace lbp
 

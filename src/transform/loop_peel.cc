@@ -3,6 +3,7 @@
 #include <map>
 
 #include "analysis/loop_info.hh"
+#include "obs/loop_report.hh"
 #include "support/logging.hh"
 
 namespace lbp
@@ -13,31 +14,53 @@ namespace
 
 bool
 peelOne(Function &fn, const Loop &loop, const PeelOptions &opts,
-        PeelStats &st)
+        PeelStats &st, obs::LoopDecisionLog *log)
 {
-    if (!loop.induction.valid || loop.induction.constTrip < 1 ||
-        loop.induction.constTrip > opts.maxTrip) {
+    int body_ops = 0;
+    for (BlockId b : loop.blocks)
+        body_ops += fn.blocks[b].sizeOps();
+
+    auto reject = [&](obs::LoopReason r, std::string note = "") {
+        if (log) {
+            obs::LoopAttempt a;
+            a.transform = "peel";
+            a.reason = r;
+            a.opsBefore = a.opsAfter = body_ops;
+            a.note = std::move(note);
+            log->addAttempt(fn.name + "/" +
+                                fn.blocks[loop.header].name,
+                            std::move(a));
+        }
         return false;
+    };
+
+    if (!loop.induction.valid || loop.induction.constTrip < 1)
+        return reject(obs::LoopReason::NotCounted);
+    if (loop.induction.constTrip > opts.maxTrip) {
+        return reject(obs::LoopReason::TripTooLarge,
+                      "trip " + std::to_string(loop.induction.constTrip));
     }
     if (loop.latches.size() != 1)
-        return false;
+        return reject(obs::LoopReason::MultiLatch);
     const std::int64_t trip = loop.induction.constTrip;
 
-    int body_ops = 0;
     for (BlockId b : loop.blocks) {
         const BasicBlock &bb = fn.blocks[b];
-        body_ops += bb.sizeOps();
         for (const auto &op : bb.ops) {
             // Hardware-loop and call ops cannot be replicated safely.
             if (op.op == Opcode::CALL || op.op == Opcode::RET ||
                 isBufferOp(op.op) || op.op == Opcode::BR_CLOOP ||
                 op.op == Opcode::BR_WLOOP) {
-                return false;
+                return reject(obs::LoopReason::HasCall, bb.name);
             }
         }
     }
-    if (trip * body_ops >= opts.maxExpansionOps)
-        return false;
+    if (trip * body_ops >= opts.maxExpansionOps) {
+        return reject(obs::LoopReason::TooLarge,
+                      std::to_string(trip * body_ops) + " >= " +
+                          std::to_string(opts.maxExpansionOps) +
+                          " expanded ops");
+    }
 
     const BlockId latch = loop.latches[0];
     const BasicBlock &latchBlk = fn.blocks[latch];
@@ -45,11 +68,11 @@ peelOne(Function &fn, const Loop &loop, const PeelOptions &opts,
     // Canonical bottom-test: conditional backedge, fallthrough exits.
     if (!term || term->op != Opcode::BR || term->target != loop.header ||
         term->hasGuard()) {
-        return false;
+        return reject(obs::LoopReason::BadShape, "latch terminator");
     }
     const BlockId exitBlk = latchBlk.fallthrough;
     if (exitBlk == kNoBlock || loop.contains(exitBlk))
-        return false;
+        return reject(obs::LoopReason::BadShape, "no exit fallthrough");
 
     // Make `trip` copies of the body. Registers are NOT renamed: the
     // copies execute sequentially exactly like the iterations did.
@@ -120,13 +143,28 @@ peelOne(Function &fn, const Loop &loop, const PeelOptions &opts,
         fn.blocks[b].fallthrough = kNoBlock;
     }
     ++st.loopsPeeled;
+    if (log) {
+        const std::string name =
+            fn.name + "/" + fn.blocks[loop.header].name;
+        obs::LoopAttempt a;
+        a.transform = "peel";
+        a.applied = true;
+        a.opsBefore = body_ops;
+        a.opsAfter = static_cast<int>(trip) * body_ops;
+        a.note = "trip " + std::to_string(trip);
+        log->addAttempt(name, std::move(a));
+        // The loop no longer exists: its straightened copies belong
+        // to the enclosing loop.
+        log->decision(name).fate = obs::LoopFate::Eliminated;
+    }
     return true;
 }
 
 } // namespace
 
 PeelStats
-peelLoops(Function &fn, const PeelOptions &opts)
+peelLoops(Function &fn, const PeelOptions &opts,
+          obs::LoopDecisionLog *log)
 {
     PeelStats st;
     bool changed = true;
@@ -139,7 +177,7 @@ peelLoops(Function &fn, const PeelOptions &opts)
                 continue; // innermost only
             if (opts.requireParentLoop && loop.parent < 0)
                 continue;
-            if (peelOne(fn, loop, opts, st)) {
+            if (peelOne(fn, loop, opts, st, log)) {
                 changed = true;
                 break; // loop forest stale
             }
@@ -149,11 +187,12 @@ peelLoops(Function &fn, const PeelOptions &opts)
 }
 
 PeelStats
-peelLoops(Program &prog, const PeelOptions &opts)
+peelLoops(Program &prog, const PeelOptions &opts,
+          obs::LoopDecisionLog *log)
 {
     PeelStats st;
     for (auto &fn : prog.functions) {
-        auto s = peelLoops(fn, opts);
+        auto s = peelLoops(fn, opts, log);
         st.loopsPeeled += s.loopsPeeled;
         st.opsAdded += s.opsAdded;
     }

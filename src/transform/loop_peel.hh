@@ -17,6 +17,11 @@
 namespace lbp
 {
 
+namespace obs
+{
+class LoopDecisionLog;
+}
+
 struct PeelOptions
 {
     /** Peel loops with constTrip <= maxTrip. */
@@ -35,11 +40,17 @@ struct PeelStats
     int opsAdded = 0;
 };
 
-/** Peel all eligible loops of @p fn. */
-PeelStats peelLoops(Function &fn, const PeelOptions &opts = {});
+/**
+ * Peel all eligible loops of @p fn. When @p log is given, every loop
+ * considered gets a "peel" LoopAttempt; a peeled loop's decision is
+ * marked Eliminated (its body now lives in the enclosing loop).
+ */
+PeelStats peelLoops(Function &fn, const PeelOptions &opts = {},
+                    obs::LoopDecisionLog *log = nullptr);
 
 /** Program-wide driver. */
-PeelStats peelLoops(Program &prog, const PeelOptions &opts = {});
+PeelStats peelLoops(Program &prog, const PeelOptions &opts = {},
+                    obs::LoopDecisionLog *log = nullptr);
 
 } // namespace lbp
 

@@ -31,6 +31,36 @@ expectIdentical(const SimStats &ref, const SimStats &dec,
 {
     const std::string diff = obs::diffSimStats(ref, dec);
     EXPECT_TRUE(diff.empty()) << what << "\n" << diff;
+
+    // Belt and braces on top of the registry diff: the per-loop
+    // records must be element-wise equal through LoopStats::operator==
+    // (which covers every field, so a field added to LoopStats but
+    // forgotten in publishLoopStats still fails here).
+    ASSERT_EQ(ref.loops.size(), dec.loops.size()) << what;
+    for (std::size_t i = 0; i < ref.loops.size(); ++i)
+        EXPECT_TRUE(ref.loops[i] == dec.loops[i])
+            << what << " loop[" << i << "] (" << ref.loops[i].name
+            << ") diverges between engines";
+}
+
+/**
+ * The attribution invariant both engines maintain by construction:
+ * every op the sim counts in SimStats::opsFromBuffer is attributed to
+ * exactly one loop, so the per-loop column sums back to the aggregate.
+ */
+void
+expectLoopAttributionExact(const SimStats &st, const std::string &what)
+{
+    std::uint64_t fromBuffer = 0, fromCache = 0;
+    for (const auto &ls : st.loops) {
+        fromBuffer += ls.opsFromBuffer;
+        fromCache += ls.opsFromCache;
+    }
+    EXPECT_EQ(fromBuffer, st.opsFromBuffer) << what;
+    // Cache-side attribution only covers ops fetched inside active
+    // loop bodies, so it is bounded by (never equal to, in general)
+    // the total cache-issued ops.
+    EXPECT_LE(fromBuffer + fromCache, st.opsFetched) << what;
 }
 
 class EngineDifferential
@@ -61,6 +91,12 @@ TEST_P(EngineDifferential, DecodedMatchesReference)
                 sc.engine = SimEngine::DECODED;
                 const SimStats dec = VliwSim(cr.code, sc).run();
                 EXPECT_EQ(ref.checksum, cr.goldenChecksum);
+                expectLoopAttributionExact(
+                    ref, GetParam() + " reference engine size=" +
+                             std::to_string(size));
+                expectLoopAttributionExact(
+                    dec, GetParam() + " decoded engine size=" +
+                             std::to_string(size));
                 expectIdentical(
                     ref, dec,
                     GetParam() + " level=" +

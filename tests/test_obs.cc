@@ -158,6 +158,84 @@ TEST(ObsRegistry, CsvContainsEveryMetric)
     EXPECT_NE(csv.find("counter,c,7"), std::string::npos);
     EXPECT_NE(csv.find("gauge,g,"), std::string::npos);
     EXPECT_NE(csv.find("histbin,h.3,"), std::string::npos);
+    EXPECT_NE(csv.find("histp50,h,3"), std::string::npos);
+    EXPECT_NE(csv.find("histp95,h,3"), std::string::npos);
+    EXPECT_NE(csv.find("histp99,h,3"), std::string::npos);
+}
+
+TEST(ObsRegistry, PercentileNearestRankExactSmallSamples)
+{
+    // Nearest-rank on explicit small samples, checked by hand.
+    obs::Histogram h;
+    EXPECT_EQ(h.percentile(0.50), 0); // empty -> 0
+
+    h.add(10);
+    EXPECT_EQ(h.percentile(0.0), 10);
+    EXPECT_EQ(h.percentile(0.50), 10);
+    EXPECT_EQ(h.percentile(1.0), 10);
+
+    h.add(20);
+    // {10, 20}: rank ceil(0.5*2)=1 -> 10; anything above -> 20.
+    EXPECT_EQ(h.percentile(0.50), 10);
+    EXPECT_EQ(h.percentile(0.51), 20);
+    EXPECT_EQ(h.percentile(0.95), 20);
+
+    obs::Histogram k;
+    for (int v = 1; v <= 100; ++v)
+        k.add(v);
+    // Uniform 1..100: nearest-rank p-th percentile is exactly p.
+    EXPECT_EQ(k.percentile(0.50), 50);
+    EXPECT_EQ(k.percentile(0.95), 95);
+    EXPECT_EQ(k.percentile(0.99), 99);
+    EXPECT_EQ(k.percentile(1.0), 100);
+
+    // Out-of-range quantiles clamp.
+    EXPECT_EQ(k.percentile(-0.5), 1);
+    EXPECT_EQ(k.percentile(2.0), 100);
+}
+
+TEST(ObsRegistry, PercentileRespectsWeights)
+{
+    obs::Histogram h;
+    h.add(1, 9.0);
+    h.add(100, 1.0);
+    // 90% of the mass sits at 1.
+    EXPECT_EQ(h.percentile(0.50), 1);
+    EXPECT_EQ(h.percentile(0.90), 1);
+    EXPECT_EQ(h.percentile(0.95), 100);
+    EXPECT_EQ(h.percentile(0.99), 100);
+}
+
+TEST(ObsRegistry, PercentilesLandInDumpAndDiff)
+{
+    obs::Registry a;
+    for (int v = 1; v <= 100; ++v)
+        a.histogram("lat").add(v);
+
+    const Json doc = a.toJson();
+    const Json *h = doc.find("histograms")->find("lat");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->find("p50")->asInt(), 50);
+    EXPECT_EQ(h->find("p95")->asInt(), 95);
+    EXPECT_EQ(h->find("p99")->asInt(), 99);
+
+    std::ostringstream os;
+    a.writeTable(os);
+    EXPECT_NE(os.str().find("p95="), std::string::npos);
+
+    // A shifted tail moves p99 (and the changed bins), and the
+    // registry diff reports it without any special-casing.
+    obs::Registry b;
+    for (int v = 1; v <= 99; ++v)
+        b.histogram("lat").add(v);
+    b.histogram("lat").add(1000);
+    const auto diffs = obs::diffRegistries(a.toJson(), b.toJson());
+    ASSERT_EQ(diffs.size(), 1u);
+    EXPECT_EQ(diffs[0].key, "lat");
+    // The rendered sides carry the quantiles, so the shift is visible
+    // right in the diff output.
+    EXPECT_NE(diffs[0].a.find("\"p99\""), std::string::npos);
+    EXPECT_NE(diffs[0].b.find("1000"), std::string::npos);
 }
 
 // ----------------------------------------------------------- TraceSink
@@ -309,9 +387,11 @@ TEST(ObsTrace, GoldenLoopEventSequence)
     EXPECT_EQ(skeleton, expect);
 
     // The exit event carries the trip count.
-    for (const auto &e : run.events)
-        if (e.kind == TraceKind::LoopExit)
+    for (const auto &e : run.events) {
+        if (e.kind == TraceKind::LoopExit) {
             EXPECT_EQ(e.a, 40);
+        }
+    }
 
     // Buffer-hit ops integral — the lbp_stats acceptance invariant.
     ASSERT_GE(run.bufHitOps, 0);

@@ -7,6 +7,7 @@
  *   lbp_stats run <workload> [options]     registry table + dumps
  *   lbp_stats diff <a.json> <b.json>       field-by-field dump diff
  *   lbp_stats trace <workload> [options]   Chrome trace-event JSON
+ *   lbp_stats loops <workload> [options]   per-loop scorecard
  *   lbp_stats --trace <workload>           alias for `trace`
  *
  * Options:
@@ -27,6 +28,7 @@
  * nonzero.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +41,7 @@
 
 #include "core/compiler.hh"
 #include "obs/json.hh"
+#include "obs/loop_report.hh"
 #include "obs/publish.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
@@ -74,6 +77,8 @@ usage()
         << "       lbp_stats diff <a.json> <b.json>\n"
         << "       lbp_stats trace <workload> [--out=F] [--sample=N]\n"
         << "                 [--capacity=N] [--buffer=N] [--level=L]\n"
+        << "       lbp_stats loops <workload> [--level=L] [--buffer=N]\n"
+        << "                 [--engine=E] [--json=F]\n"
         << "       lbp_stats list\n"
         << "\nworkloads:\n";
     for (const auto &w : workloads::allWorkloads())
@@ -146,14 +151,14 @@ parseArgs(int argc, char **argv, Options &o)
 /** Compile + simulate one workload, publishing everything into @p r. */
 SimStats
 runWorkload(const Options &o, const std::string &name,
-            obs::Registry &r, obs::TraceSink *trace)
+            obs::Registry &r, obs::TraceSink *trace,
+            CompileResult &cr)
 {
     Program prog = workloads::buildWorkload(name);
     CompileOptions copts;
     copts.level = o.level;
     copts.bufferOps = o.bufferOps;
     copts.obsRegistry = &r;
-    CompileResult cr;
     compileProgram(prog, copts, cr);
 
     SimConfig sc;
@@ -220,7 +225,8 @@ cmdRun(const Options &o)
     if (o.positional.size() != 1)
         return usage();
     obs::Registry reg;
-    runWorkload(o, o.positional[0], reg, nullptr);
+    CompileResult cr;
+    runWorkload(o, o.positional[0], reg, nullptr, cr);
     reg.writeTable(std::cout);
     if (!o.jsonPath.empty()) {
         if (!writeFile(o.jsonPath, [&](std::ostream &os) {
@@ -240,6 +246,92 @@ cmdRun(const Options &o)
     return 0;
 }
 
+/**
+ * Is a bench-JSON key timing-like (tolerated by the regression
+ * gate)? Counters, fractions, and energies must match exactly;
+ * wall-clock measurements and machine-dependent knobs may not.
+ */
+bool
+timingTolerantKey(const std::string &key)
+{
+    if (key == "speedup" || key == "threads" || key == "wallMs")
+        return true;
+    return key.size() >= 2 &&
+           key.compare(key.size() - 2, 2, "Ms") == 0;
+}
+
+/**
+ * Recursive diff of two BENCH_*.json documents under the
+ * counters-exact / timings-tolerant policy: the "machine" identity
+ * block and any timing-valued key are skipped, everything else must
+ * be byte-identical.
+ */
+void
+diffBenchJson(const obs::Json &a, const obs::Json &b,
+              const std::string &path,
+              std::vector<obs::DiffEntry> &out)
+{
+    using obs::Json;
+    auto emit = [&](const Json *va, const Json *vb) {
+        obs::DiffEntry d;
+        d.key = path.empty() ? "<root>" : path;
+        d.a = va ? va->dump() : "<absent>";
+        d.b = vb ? vb->dump() : "<absent>";
+        out.push_back(std::move(d));
+    };
+    if (a.kind() != b.kind()) {
+        emit(&a, &b);
+        return;
+    }
+    if (a.kind() == Json::Kind::Object) {
+        std::vector<std::string> keys;
+        for (const auto &kv : a.members())
+            keys.push_back(kv.first);
+        for (const auto &kv : b.members())
+            if (!a.find(kv.first))
+                keys.push_back(kv.first);
+        for (const auto &k : keys) {
+            if (k == "machine" || timingTolerantKey(k))
+                continue;
+            const Json *va = a.find(k);
+            const Json *vb = b.find(k);
+            const std::string sub =
+                path.empty() ? k : path + "." + k;
+            if (!va || !vb) {
+                obs::DiffEntry d;
+                d.key = sub;
+                d.a = va ? va->dump() : "<absent>";
+                d.b = vb ? vb->dump() : "<absent>";
+                out.push_back(std::move(d));
+                continue;
+            }
+            diffBenchJson(*va, *vb, sub, out);
+        }
+        return;
+    }
+    if (a.kind() == Json::Kind::Array) {
+        const auto &ia = a.items();
+        const auto &ib = b.items();
+        const size_t n = std::max(ia.size(), ib.size());
+        for (size_t i = 0; i < n; ++i) {
+            const std::string sub =
+                path + "[" + std::to_string(i) + "]";
+            if (i >= ia.size() || i >= ib.size()) {
+                obs::DiffEntry d;
+                d.key = sub;
+                d.a = i < ia.size() ? ia[i].dump() : "<absent>";
+                d.b = i < ib.size() ? ib[i].dump() : "<absent>";
+                out.push_back(std::move(d));
+                continue;
+            }
+            diffBenchJson(ia[i], ib[i], sub, out);
+        }
+        return;
+    }
+    if (a != b)
+        emit(&a, &b);
+}
+
 int
 cmdDiff(const Options &o)
 {
@@ -247,7 +339,18 @@ cmdDiff(const Options &o)
         return usage();
     const obs::Json a = loadJson(o.positional[0]);
     const obs::Json b = loadJson(o.positional[1]);
-    const auto diffs = obs::diffRegistries(a, b);
+
+    // Registry dumps carry "metrics"/"histograms" sections and diff
+    // field-by-field; BENCH_*.json documents (marked by a "bench"
+    // key) diff recursively under the counters-exact /
+    // timings-tolerant policy.
+    std::vector<obs::DiffEntry> diffs;
+    if (!a.find("metrics") && !b.find("metrics") &&
+        (a.find("bench") || b.find("bench"))) {
+        diffBenchJson(a, b, "", diffs);
+    } else {
+        diffs = obs::diffRegistries(a, b);
+    }
     if (diffs.empty()) {
         std::cout << "identical (" << o.positional[0] << " vs "
                   << o.positional[1] << ")\n";
@@ -270,7 +373,8 @@ cmdTrace(const Options &o)
 
     obs::Registry reg;
     obs::TraceSink sink(o.capacity, o.sample);
-    const SimStats stats = runWorkload(o, name, reg, &sink);
+    CompileResult cr;
+    const SimStats stats = runWorkload(o, name, reg, &sink, cr);
 
     // The headline integrity check: buffer-hit events carry the ops
     // count of each bundle issued from the buffer, so their sum must
@@ -318,6 +422,36 @@ cmdTrace(const Options &o)
 }
 
 int
+cmdLoops(const Options &o)
+{
+    if (o.positional.size() != 1)
+        return usage();
+    const std::string &name = o.positional[0];
+
+    obs::Registry reg;
+    CompileResult cr;
+    const SimStats stats = runWorkload(o, name, reg, nullptr, cr);
+    const FetchEnergy fe = computeFetchEnergy(stats, o.bufferOps);
+
+    // The join asserts the headline invariant internally: the sum of
+    // per-loop buffer-issued ops equals sim.opsFromBuffer exactly.
+    const obs::LoopScorecard sc = obs::buildLoopScorecard(
+        name, cr.loopLog, stats, o.bufferOps, &fe);
+    obs::publishScorecard(reg, sc);
+
+    obs::printScorecard(std::cout, sc);
+    if (!o.jsonPath.empty()) {
+        if (!writeFile(o.jsonPath, [&](std::ostream &os) {
+                obs::scorecardToJson(sc).write(os);
+                os << "\n";
+            }))
+            return 1;
+        std::cout << "scorecard dump: " << o.jsonPath << "\n";
+    }
+    return 0;
+}
+
+int
 cmdList()
 {
     for (const auto &w : workloads::allWorkloads())
@@ -339,6 +473,8 @@ main(int argc, char **argv)
         return cmdDiff(o);
     if (o.command == "trace")
         return cmdTrace(o);
+    if (o.command == "loops")
+        return cmdLoops(o);
     if (o.command == "list")
         return cmdList();
     return usage();
