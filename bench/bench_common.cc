@@ -10,7 +10,9 @@
 #include <thread>
 #include <tuple>
 
+#include "obs/history.hh"
 #include "obs/loop_report.hh"
+#include "obs/version.hh"
 #include "support/logging.hh"
 
 namespace lbp
@@ -104,11 +106,11 @@ benchJsonDoc(const std::string &benchName)
 {
     using obs::Json;
     Json doc = Json::object();
-    // Schema history:
-    //   1  ad-hoc fprintf layouts, one per bench
-    //   2  shared obs::Json emitter; adds "machine" and "config"
-    doc.set("schema_version", Json::integer(2));
+    // Schema history lives on obs::kBenchSchemaVersion (version.hh).
+    doc.set("schema_version",
+            Json::integer(obs::kBenchSchemaVersion));
     doc.set("bench", Json::str(benchName));
+    obs::stampVersion(doc);
 
     Json machine = Json::object();
     machine.set("hardware_concurrency",
@@ -135,6 +137,21 @@ writeBenchJson(const std::string &path, const obs::Json &doc)
         std::exit(1);
     }
     std::printf("wrote %s\n", path.c_str());
+}
+
+void
+appendBenchHistory(const std::string &historyPath,
+                   const obs::Json &doc)
+{
+    const obs::HistoryRecord rec = obs::makeHistoryRecord(doc);
+    std::string error;
+    if (!obs::appendHistory(historyPath, rec, error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        std::exit(1);
+    }
+    std::printf("appended %s record (%zu values, %s) to %s\n",
+                rec.source.c_str(), rec.values.size(),
+                rec.gitSha.c_str(), historyPath.c_str());
 }
 
 void

@@ -70,6 +70,15 @@ obs::Json benchJsonDoc(const std::string &benchName);
 void writeBenchJson(const std::string &path, const obs::Json &doc);
 
 /**
+ * The `--history[=PATH]` hook shared by every JSON-emitting bench:
+ * flatten @p doc into an obs::HistoryRecord and append it to the
+ * jsonl store at @p historyPath (default BENCH_history.jsonl), so all
+ * benches feed the timeline with one schema. Exits on I/O error.
+ */
+void appendBenchHistory(const std::string &historyPath,
+                        const obs::Json &doc);
+
+/**
  * Compile (cached) + simulate one workload and print its per-loop
  * scorecard (obs::buildLoopScorecard join of the compiler decision
  * log with simulator residency). The scorecard's internal invariant

@@ -8,12 +8,16 @@
  * mpeg2_enc (paper: 38.7% traditional -> 89.0% transformed, a 137.5%
  * relative increase).
  *
- * Usage: bench_fig7_buffer_issue [--json[=PATH]] [--loops]
- *   --json[=P]  machine-readable results (default BENCH_fig7.json);
- *               fractions are deterministic, so the dump is diffable
- *               counter-exact by the regression gate
- *   --loops     per-loop scorecard for every workload (aggressive,
- *               256-op buffer) after the tables
+ * Usage: bench_fig7_buffer_issue [--json[=PATH]] [--history[=PATH]]
+ *                                [--loops]
+ *   --json[=P]     machine-readable results (default
+ *                  BENCH_fig7.json); fractions are deterministic, so
+ *                  the dump is diffable counter-exact by the
+ *                  regression gate
+ *   --history[=P]  also append the flattened document to the
+ *                  BENCH_history.jsonl timeline (implies --json)
+ *   --loops        per-loop scorecard for every workload
+ *                  (aggressive, 256-op buffer) after the tables
  */
 
 #include <cstdio>
@@ -87,7 +91,8 @@ headlineMean(const std::vector<Series> &rows, size_t sizeIdx)
 }
 
 void
-writeJson(const std::string &path, const std::vector<Series> &trad,
+writeJson(const std::string &path, const std::string &historyPath,
+          const std::vector<Series> &trad,
           const std::vector<Series> &aggr, double headlineTrad,
           double headlineAggr)
 {
@@ -128,6 +133,8 @@ writeJson(const std::string &path, const std::vector<Series> &trad,
     doc.set("headline", std::move(headline));
 
     writeBenchJson(path, doc);
+    if (!historyPath.empty())
+        appendBenchHistory(historyPath, doc);
 }
 
 } // namespace
@@ -138,6 +145,7 @@ main(int argc, char **argv)
     bool json = false;
     bool loops = false;
     std::string jsonPath = "BENCH_fig7.json";
+    std::string historyPath;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--json") {
@@ -145,11 +153,16 @@ main(int argc, char **argv)
         } else if (arg.rfind("--json=", 0) == 0) {
             json = true;
             jsonPath = arg.substr(7);
+        } else if (arg == "--history") {
+            historyPath = "BENCH_history.jsonl";
+        } else if (arg.rfind("--history=", 0) == 0) {
+            historyPath = arg.substr(10);
         } else if (arg == "--loops") {
             loops = true;
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--json[=PATH]] [--loops]\n",
+                         "usage: %s [--json[=PATH]] "
+                         "[--history[=PATH]] [--loops]\n",
                          argv[0]);
             return 2;
         }
@@ -187,7 +200,8 @@ main(int argc, char **argv)
                     "buffer) ===\n\n");
         dumpLoopScorecards(OptLevel::Aggressive, 256);
     }
-    if (json)
-        writeJson(jsonPath, trad, aggr, t, a);
+    // --history implies the JSON emission it snapshots.
+    if (json || !historyPath.empty())
+        writeJson(jsonPath, historyPath, trad, aggr, t, a);
     return 0;
 }

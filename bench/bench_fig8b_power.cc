@@ -8,12 +8,16 @@
  * average -72.3%). Per-access energies come from the CACTI-calibrated
  * model (41.8x memory/buffer ratio at 256 ops / 512 KB, §7.2).
  *
- * Usage: bench_fig8b_power [--json[=PATH]] [--loops]
- *   --json[=P]  machine-readable results (default BENCH_fig8b.json);
- *               energies are deterministic, so the dump is diffable
- *               counter-exact by the regression gate
- *   --loops     per-loop scorecard for every workload (aggressive,
- *               256-op buffer) after the table
+ * Usage: bench_fig8b_power [--json[=PATH]] [--history[=PATH]]
+ *                          [--loops]
+ *   --json[=P]     machine-readable results (default
+ *                  BENCH_fig8b.json); energies are deterministic, so
+ *                  the dump is diffable counter-exact by the
+ *                  regression gate
+ *   --history[=P]  also append the flattened document to the
+ *                  BENCH_history.jsonl timeline (implies --json)
+ *   --loops        per-loop scorecard for every workload
+ *                  (aggressive, 256-op buffer) after the table
  */
 
 #include <cstdio>
@@ -32,6 +36,7 @@ main(int argc, char **argv)
     bool json = false;
     bool loops = false;
     std::string jsonPath = "BENCH_fig8b.json";
+    std::string historyPath;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--json") {
@@ -39,15 +44,23 @@ main(int argc, char **argv)
         } else if (arg.rfind("--json=", 0) == 0) {
             json = true;
             jsonPath = arg.substr(7);
+        } else if (arg == "--history") {
+            historyPath = "BENCH_history.jsonl";
+        } else if (arg.rfind("--history=", 0) == 0) {
+            historyPath = arg.substr(10);
         } else if (arg == "--loops") {
             loops = true;
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--json[=PATH]] [--loops]\n",
+                         "usage: %s [--json[=PATH]] "
+                         "[--history[=PATH]] [--loops]\n",
                          argv[0]);
             return 2;
         }
     }
+    // --history implies the JSON emission it snapshots.
+    if (!historyPath.empty())
+        json = true;
 
     std::printf("=== Figure 8b: normalized instruction fetch power "
                 "===\n\n");
@@ -130,6 +143,8 @@ main(int argc, char **argv)
         doc.set("average", std::move(avg));
 
         writeBenchJson(jsonPath, doc);
+        if (!historyPath.empty())
+            appendBenchHistory(historyPath, doc);
     }
     return 0;
 }

@@ -19,11 +19,14 @@
  * the two passes, so the harness is also an end-to-end equivalence
  * check of the decoded engine.
  *
- * Usage: bench_sim_fastpath [--quick] [--json[=PATH]] [--threads=N]
- *   --quick      3 workloads, 2 buffer sizes (smoke / ctest perf)
- *   --json[=P]   write machine-readable timings (default path
- *                BENCH_sim_fastpath.json in the working directory)
- *   --threads=N  thread-pool size (default: hardware concurrency)
+ * Usage: bench_sim_fastpath [--quick] [--json[=PATH]]
+ *                           [--history[=PATH]] [--threads=N]
+ *   --quick        3 workloads, 2 buffer sizes (smoke / ctest perf)
+ *   --json[=P]     write machine-readable timings (default path
+ *                  BENCH_sim_fastpath.json in the working directory)
+ *   --history[=P]  also append the flattened document to the
+ *                  BENCH_history.jsonl timeline (implies --json)
+ *   --threads=N    thread-pool size (default: hardware concurrency)
  */
 
 #include <chrono>
@@ -126,7 +129,7 @@ runFastTask(const SweepTask &t, std::vector<SweepPoint> &points,
 }
 
 void
-writeJson(const std::string &path,
+writeJson(const std::string &path, const std::string &historyPath,
           const std::vector<std::string> &names,
           const std::vector<int> &sizes,
           const std::vector<SweepTask> &tasks,
@@ -190,6 +193,8 @@ writeJson(const std::string &path,
     doc.set("points", pts);
 
     writeBenchJson(path, doc);
+    if (!historyPath.empty())
+        appendBenchHistory(historyPath, doc);
 }
 
 } // namespace
@@ -200,6 +205,7 @@ main(int argc, char **argv)
     bool quick = false;
     bool json = false;
     std::string jsonPath = "BENCH_sim_fastpath.json";
+    std::string historyPath;
     int threads = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -210,16 +216,23 @@ main(int argc, char **argv)
         } else if (arg.rfind("--json=", 0) == 0) {
             json = true;
             jsonPath = arg.substr(7);
+        } else if (arg == "--history") {
+            historyPath = "BENCH_history.jsonl";
+        } else if (arg.rfind("--history=", 0) == 0) {
+            historyPath = arg.substr(10);
         } else if (arg.rfind("--threads=", 0) == 0) {
             threads = std::atoi(arg.c_str() + 10);
         } else {
             std::fprintf(stderr,
                          "usage: %s [--quick] [--json[=PATH]] "
-                         "[--threads=N]\n",
+                         "[--history[=PATH]] [--threads=N]\n",
                          argv[0]);
             return 2;
         }
     }
+    // --history implies the JSON emission it snapshots.
+    if (!historyPath.empty())
+        json = true;
 
     // Fail on an unwritable JSON path before the sweep, not after.
     if (json) {
@@ -342,8 +355,8 @@ main(int argc, char **argv)
                 points.size());
 
     if (json)
-        writeJson(jsonPath, names, sizes, tasks, points, refWallMs,
-                  fastWallMs, refSimMs, fastSimMs,
+        writeJson(jsonPath, historyPath, names, sizes, tasks, points,
+                  refWallMs, fastWallMs, refSimMs, fastSimMs,
                   pool.threadCount(), quick);
     return 0;
 }

@@ -67,17 +67,39 @@ ctest --test-dir "$TSAN_BUILD" --output-on-failure -L obs
 
 # Bench regression gate: figure results must match the checked-in
 # baselines counter-exact (fractions, energies, cycles); wall-clock
-# keys and the machine block are ignored by the diff policy.
+# keys and the machine block are ignored by the diff policy. Each
+# bench also appends its document to the build-local history store
+# (the same --history hook CI uses), feeding the statistical gate
+# below.
+HISTORY="$BUILD"/BENCH_history.jsonl
+rm -f "$HISTORY"
 "$BUILD"/bench/bench_fig7_buffer_issue \
-    --json="$BUILD"/BENCH_fig7.json >/dev/null
+    --json="$BUILD"/BENCH_fig7.json --history="$HISTORY" >/dev/null
 "$BUILD"/tools/lbp_stats diff BENCH_fig7.json "$BUILD"/BENCH_fig7.json
 "$BUILD"/bench/bench_fig8b_power \
-    --json="$BUILD"/BENCH_fig8b.json >/dev/null
+    --json="$BUILD"/BENCH_fig8b.json --history="$HISTORY" >/dev/null
 "$BUILD"/tools/lbp_stats diff BENCH_fig8b.json \
     "$BUILD"/BENCH_fig8b.json
 "$BUILD"/bench/bench_sim_fastpath \
-    --json="$BUILD"/BENCH_sim_fastpath.json >/dev/null
+    --json="$BUILD"/BENCH_sim_fastpath.json --history="$HISTORY" \
+    >/dev/null
 "$BUILD"/tools/lbp_stats diff BENCH_sim_fastpath.json \
     "$BUILD"/BENCH_sim_fastpath.json
+
+# History gate + flight recorder: seed the store with the checked-in
+# baselines too (so every timing key has >1 sample), judge each fresh
+# bench document against the timeline — counters exact, timings inside
+# the median+MAD window — then render the self-contained HTML report.
+for doc in BENCH_fig7.json BENCH_fig8b.json BENCH_sim_fastpath.json; do
+    "$BUILD"/tools/lbp_stats history append "$doc" \
+        --history="$HISTORY" >/dev/null
+done
+for doc in BENCH_fig7.json BENCH_fig8b.json BENCH_sim_fastpath.json; do
+    "$BUILD"/tools/lbp_stats history check "$BUILD/$doc" \
+        --history="$HISTORY"
+done
+"$BUILD"/tools/lbp_stats report adpcm_dec --history="$HISTORY" \
+    --out="$BUILD"/flight_recorder.html
+test -s "$BUILD"/flight_recorder.html
 
 echo "check.sh: all checks passed"

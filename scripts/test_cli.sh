@@ -13,6 +13,16 @@
 #                 golden verbatim.
 #   diff_exit     `diff` exits 0 on identical dumps and 1 on a dump
 #                 with one mutated counter, naming the mutated key.
+#   history_gate  `history append` twice builds a deterministic
+#                 baseline; `history check` passes the unmutated dump
+#                 (exit 0), fails an injected timing slowdown with
+#                 REGRESSED naming the key, and fails a mutated
+#                 counter with EXACT-MISMATCH (both exit 1).
+#   report_golden `report` writes one self-contained HTML file: every
+#                 section anchor present, inline SVG sparklines, and
+#                 no external fetches (no http/https URLs at all).
+#   version       `--version` prints the schema triple, and the same
+#                 git SHA is stamped into every emitted JSON document.
 set -u
 
 LBP_STATS=$1
@@ -62,6 +72,94 @@ case "$CASE" in
     [ $rc -eq 1 ] || fail "diff on mutated dump exited $rc, want 1"
     grep -q 'sim\.cycles' "$TMP/diff.txt" \
         || fail "diff output should name the mutated key"
+    ;;
+
+  history_gate)
+    H=$TMP/h.jsonl
+    "$LBP_STATS" run adpcm_dec --buffer=256 --json="$TMP/a.json" \
+        > /dev/null || fail "lbp_stats run --json exited nonzero"
+
+    "$LBP_STATS" history append "$TMP/a.json" --history="$H" \
+        > /dev/null || fail "history append (1) exited nonzero"
+    "$LBP_STATS" history append "$TMP/a.json" --history="$H" \
+        > /dev/null || fail "history append (2) exited nonzero"
+    "$LBP_STATS" history list --history="$H" > "$TMP/list.txt" \
+        || fail "history list exited nonzero"
+    grep -q '2 record(s)' "$TMP/list.txt" \
+        || fail "history list should count 2 records"
+
+    # The baseline is the appended doc itself, so the unmutated dump
+    # must pass bit-for-bit — timing gauges included.
+    "$LBP_STATS" history check "$TMP/a.json" --history="$H" \
+        > "$TMP/pass.txt"
+    [ $? -eq 0 ] || fail "clean history check should exit 0"
+    grep -q 'verdict: PASS' "$TMP/pass.txt" \
+        || fail "clean check should print 'verdict: PASS'"
+
+    # Inject a slowdown into a timing gauge (prepend a digit, same
+    # trick as diff_exit): the gate must fail naming that key while
+    # the untouched counters still pass.
+    sed 's/"compile\.total\.ms": \([0-9]\)/"compile.total.ms": 9\1/' \
+        "$TMP/a.json" > "$TMP/slow.json"
+    cmp -s "$TMP/a.json" "$TMP/slow.json" \
+        && fail "sed mutation did not change the dump"
+    "$LBP_STATS" history check "$TMP/slow.json" --history="$H" \
+        > "$TMP/slow.txt"
+    rc=$?
+    [ $rc -eq 1 ] || fail "slowdown check exited $rc, want 1"
+    grep -q 'REGRESSED' "$TMP/slow.txt" \
+        || fail "slowdown should be judged REGRESSED"
+    grep -q 'compile\\\.total\\\.ms' "$TMP/slow.txt" \
+        || fail "verdict should name the slowed key"
+
+    # A drifted counter is an exact mismatch, not a window judgment.
+    sed 's/"sim\.cycles": *\([0-9]*\)/"sim.cycles": 9\1/' \
+        "$TMP/a.json" > "$TMP/drift.json"
+    "$LBP_STATS" history check "$TMP/drift.json" --history="$H" \
+        > "$TMP/drift.txt"
+    rc=$?
+    [ $rc -eq 1 ] || fail "counter-drift check exited $rc, want 1"
+    grep -q 'EXACT-MISMATCH' "$TMP/drift.txt" \
+        || fail "counter drift should be EXACT-MISMATCH"
+    ;;
+
+  report_golden)
+    H=$TMP/h.jsonl
+    "$LBP_STATS" run adpcm_dec --buffer=256 --json="$TMP/a.json" \
+        > /dev/null || fail "lbp_stats run --json exited nonzero"
+    "$LBP_STATS" history append "$TMP/a.json" --history="$H" \
+        > /dev/null || fail "history append exited nonzero"
+    "$LBP_STATS" report adpcm_dec --buffer=256 --history="$H" \
+        --out="$TMP/r.html" > /dev/null \
+        || fail "lbp_stats report exited nonzero"
+    [ -s "$TMP/r.html" ] || fail "report wrote no output"
+
+    for anchor in meta gate trajectories metrics histograms \
+                  scorecard phases; do
+        grep -q "id=\"$anchor\"" "$TMP/r.html" \
+            || fail "report is missing section #$anchor"
+    done
+    grep -q '<svg' "$TMP/r.html" \
+        || fail "report should inline SVG charts"
+    grep -q 'class="spark"' "$TMP/r.html" \
+        || fail "report should render sparkline trajectories"
+    # Self-contained: a single file with zero external fetches.
+    grep -qiE 'https?://|<script src|<link ' "$TMP/r.html" \
+        && fail "report must not reference external resources"
+    ;;
+
+  version)
+    "$LBP_STATS" --version > "$TMP/v.txt" \
+        || fail "lbp_stats --version exited nonzero"
+    grep -qE 'registry schema [0-9]+, bench schema [0-9]+, history schema [0-9]+' \
+        "$TMP/v.txt" || fail "--version should print the schema triple"
+    sha=$(sed -n 's/^lbp \([^ ]*\) .*/\1/p' "$TMP/v.txt")
+    [ -n "$sha" ] || fail "--version should lead with the git SHA"
+
+    "$LBP_STATS" run adpcm_dec --buffer=256 --json="$TMP/a.json" \
+        > /dev/null || fail "lbp_stats run --json exited nonzero"
+    grep -q "\"git_sha\": \"$sha\"" "$TMP/a.json" \
+        || fail "registry dump should stamp the same git SHA"
     ;;
 
   *)

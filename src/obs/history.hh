@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Bench-history timeline: an append-only jsonl store of flattened
+ * observability documents plus the statistical regression gate that
+ * judges a fresh run against its own past.
+ *
+ * Store. Each line of BENCH_history.jsonl is one compact JSON record:
+ *
+ *   {"history_schema": 1, "git_sha": "<sha>", "source": "fig7",
+ *    "machine": {...}, "values": {"<flat.key>": <leaf>, ...}}
+ *
+ * `source` identifies the producing document family (a bench doc's
+ * "bench" name, or "registry:<workload>" for a registry dump) —
+ * records only ever compare against records of the same source.
+ * `values` holds every scalar leaf of the source document, flattened
+ * to dotted keys ('.' inside a real key segment is escaped as "\.",
+ * array elements become decimal index segments). Identity blocks —
+ * "machine", "git_sha", "schema_version", "meta" — are carried or
+ * dropped but never flattened into values; histogram "bins" arrays
+ * are dropped (their quantile summaries are the longitudinal signal).
+ *
+ * Gate. `checkAgainstHistory` replaces the blind exact-diff for
+ * timing-like keys with a per-key baseline computed from the last N
+ * records of the same source:
+ *
+ *   baseline  median of the key's last `window` finite values
+ *   spread    MAD (median absolute deviation) of that window
+ *   threshold max(absTol, relTol*|median|, madK * 1.4826 * MAD)
+ *
+ * A timing key regresses when it moves past the threshold in its bad
+ * direction (higher for "*.ms"/"*Ms", lower for "speedup");
+ * past-threshold movement in the good direction is reported as
+ * Improved and passes. Everything else — counters, checksums,
+ * fractions, energies — must equal the most recent record exactly,
+ * same as the lbp_stats diff policy.
+ *
+ * Null/NaN policy (shared with diffRegistries): a non-finite gauge
+ * serializes as JSON `null` and is poison — a null current value
+ * fails the gate (NonFinite) no matter what the baseline holds, and a
+ * key that disappears outright is a distinct failure (MissingKey).
+ * The two conditions are never conflated.
+ *
+ * Window edge cases: with no baseline record holding a key the key
+ * passes as NoBaseline (there is nothing to regress against); with a
+ * single record the MAD is zero and the gate degenerates to the
+ * rel/abs thresholds around that one sample.
+ */
+
+#ifndef LBP_OBS_HISTORY_HH
+#define LBP_OBS_HISTORY_HH
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/version.hh"
+
+namespace lbp
+{
+namespace obs
+{
+
+/**
+ * Flatten every scalar leaf of @p doc into (dotted-key, value) pairs
+ * in document order. Identity roots ("machine", "git_sha",
+ * "schema_version", "meta", "history_schema") and histogram "bins"
+ * arrays are skipped. Key segments containing '.' or '\' are escaped
+ * ("\." / "\\") so distinct nestings can never collide.
+ */
+std::vector<std::pair<std::string, Json>>
+flattenLeaves(const Json &doc);
+
+/** Join one escaped path segment onto a flattened prefix. */
+std::string flatJoin(const std::string &prefix,
+                     const std::string &segment);
+
+/**
+ * The document family a dump belongs to: a bench document's "bench"
+ * name, "registry:<workload>" (or plain "registry") for a registry
+ * dump, "doc" otherwise.
+ */
+std::string docSource(const Json &doc);
+
+/** One appended line of the history store. */
+struct HistoryRecord
+{
+    int schema = kHistorySchemaVersion;
+    std::string gitSha;
+    std::string source;
+    Json machine;  ///< identity block (Null when the doc had none)
+    std::vector<std::pair<std::string, Json>> values;
+
+    const Json *find(const std::string &key) const;
+};
+
+/**
+ * Build the record for @p doc: flatten the leaves, lift the identity
+ * blocks, and stamp the running binary's git SHA (preferring the
+ * document's own stamp when present — the doc knows which build
+ * produced its numbers). @p sourceOverride replaces docSource().
+ */
+HistoryRecord makeHistoryRecord(const Json &doc,
+                                const std::string &sourceOverride = "");
+
+Json historyRecordToJson(const HistoryRecord &rec);
+
+/** Parse one record; returns false and sets @p error on mismatch. */
+bool historyRecordFromJson(const Json &line, HistoryRecord &rec,
+                           std::string &error);
+
+/** Append one compact line to @p path (creating the file). Returns
+ *  false and sets @p error on I/O failure. */
+bool appendHistory(const std::string &path, const HistoryRecord &rec,
+                   std::string &error);
+
+/**
+ * Load every record of @p path, oldest first. A missing file is an
+ * empty history, not an error; a malformed line is an error naming
+ * its line number.
+ */
+std::vector<HistoryRecord> loadHistory(const std::string &path,
+                                       std::string &error);
+
+/** How the gate treats one flattened key. */
+enum class KeyClass
+{
+    Identity, ///< machine-dependent knob; never compared
+    Timing,   ///< wall-clock-like; median+MAD window
+    Exact,    ///< counter/fraction/energy/string; exact vs latest
+};
+
+KeyClass classifyKey(const std::string &key);
+
+struct CheckPolicy
+{
+    int window = 8;      ///< timing baseline: last N finite samples
+    double relTol = 0.10; ///< relative threshold vs |median|
+    double absTol = 0.05; ///< absolute threshold floor
+    double madK = 4.0;    ///< robust-sigma multiplier (x 1.4826 MAD)
+};
+
+enum class Verdict
+{
+    Ok,            ///< within threshold / exactly equal
+    Improved,      ///< past threshold in the good direction (passes)
+    Regressed,     ///< past threshold in the bad direction (fails)
+    ExactMismatch, ///< exact-class key differs from latest (fails)
+    NonFinite,     ///< current value is null, i.e. NaN/inf (fails)
+    MissingKey,    ///< latest record has it, current doc lost it (fails)
+    NewKey,        ///< current doc introduces it (passes, noted)
+    NoBaseline,    ///< no record holds the key yet (passes, noted)
+};
+
+const char *verdictName(Verdict v);
+bool verdictFails(Verdict v);
+
+struct KeyVerdict
+{
+    std::string key;
+    KeyClass cls = KeyClass::Exact;
+    Verdict verdict = Verdict::Ok;
+    double baseline = 0;  ///< window median (Timing) / latest (Exact)
+    double spread = 0;    ///< window MAD (Timing only)
+    double current = 0;
+    double threshold = 0; ///< the tripwire actually applied
+    int samples = 0;      ///< finite baseline samples used
+    std::string detail;   ///< human rendering ("12.1ms vs 9.8±0.3ms")
+};
+
+/** The gate's machine-readable outcome. */
+struct CheckReport
+{
+    std::string source;
+    int baselineRecords = 0;  ///< same-source records consulted
+    std::vector<KeyVerdict> verdicts;  ///< every compared key
+
+    bool failed() const;
+
+    /** Failing verdicts first, then notable ones, then Ok count. */
+    void print(std::ostream &os, bool verbose = false) const;
+
+    Json toJson() const;
+};
+
+/**
+ * Judge @p currentDoc against the same-source records of @p history
+ * under @p policy. See the file comment for the per-class rules.
+ */
+CheckReport checkAgainstHistory(const std::vector<HistoryRecord> &history,
+                                const Json &currentDoc,
+                                const CheckPolicy &policy = {});
+
+} // namespace obs
+} // namespace lbp
+
+#endif // LBP_OBS_HISTORY_HH

@@ -270,11 +270,47 @@ Json::write(std::ostream &os, int indent) const
     }
 }
 
+void
+Json::writeCompact(std::ostream &os) const
+{
+    switch (kind_) {
+      case Kind::Null:
+      case Kind::Bool:
+      case Kind::Int:
+      case Kind::Uint:
+      case Kind::Double:
+      case Kind::String:
+        write(os);
+        break;
+      case Kind::Array: {
+        os << '[';
+        for (size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                os << ',';
+            arr_[i].writeCompact(os);
+        }
+        os << ']';
+        break;
+      }
+      case Kind::Object: {
+        os << '{';
+        for (size_t i = 0; i < obj_.size(); ++i) {
+            if (i)
+                os << ',';
+            os << '"' << jsonEscape(obj_[i].first) << "\":";
+            obj_[i].second.writeCompact(os);
+        }
+        os << '}';
+        break;
+      }
+    }
+}
+
 std::string
 Json::dump() const
 {
     std::ostringstream os;
-    write(os);
+    writeCompact(os);
     return os.str();
 }
 

@@ -88,6 +88,13 @@ class Json
     void write(std::ostream &os, int indent = 0) const;
 
     /**
+     * Single-line rendering with no inter-element whitespace: the
+     * jsonl record format (history.hh), where one value must occupy
+     * exactly one line.
+     */
+    void writeCompact(std::ostream &os) const;
+
+    /**
      * Parse a JSON document. Returns a Null value and sets @p error
      * on malformed input (error stays empty on success).
      */

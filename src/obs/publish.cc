@@ -45,6 +45,24 @@ publishSimStats(Registry &r, const SimStats &s,
         r.intGauge(prefix + ".returns." + std::to_string(i))
             .set(s.returns[i]);
 
+    // Distribution views over the per-loop table (deterministic:
+    // every input is a sim counter). bodyOps weights each loop's
+    // image size by how often it was activated — the p50/p95 answer
+    // "what loop-body size dominates buffer traffic"; tripCount bins
+    // the mean iterations per activation, the quantity the §4 peeling
+    // heuristics reason about.
+    Histogram &bodyOps = r.histogram(prefix + ".loop.bodyOps");
+    Histogram &tripCount = r.histogram(prefix + ".loop.tripCount");
+    for (const auto &ls : s.loops) {
+        if (ls.activations == 0)
+            continue;
+        bodyOps.add(static_cast<std::int64_t>(ls.imageOps),
+                    static_cast<double>(ls.activations));
+        tripCount.add(static_cast<std::int64_t>(ls.iterations /
+                                                ls.activations),
+                      static_cast<double>(ls.activations));
+    }
+
     for (std::size_t id = 0; id < s.loops.size(); ++id) {
         const LoopStats &ls = s.loops[id];
         const std::string p = loopPrefix(prefix, id);

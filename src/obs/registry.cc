@@ -1,10 +1,12 @@
 #include "obs/registry.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 
+#include "obs/version.hh"
 #include "support/logging.hh"
 
 namespace lbp
@@ -140,6 +142,7 @@ Registry::toJson() const
     Json root = Json::object();
     root.set("schema_version",
              Json::integer(kRegistrySchemaVersion));
+    stampVersion(root);
 
     Json meta = Json::object();
     for (const auto &kv : infos_)
@@ -287,12 +290,32 @@ diffSection(const Json &a, const Json &b, const char *section,
     for (const auto &k : keys) {
         const Json *va = sa->find(k);
         const Json *vb = sb->find(k);
-        if (va && vb && *va == *vb)
+        // A NaN/inf metric is poison: it serializes as `null`, an
+        // in-memory dump still holds the non-finite double, and NaN
+        // never equals anything (itself included) — so either form
+        // always diffs. Missing keys stay a distinct condition
+        // ("<absent>").
+        auto nonFinite = [](const Json *v) {
+            if (!v)
+                return false;
+            if (v->kind() == Json::Kind::Null)
+                return true;
+            return v->isNumber() && !std::isfinite(v->asDouble());
+        };
+        const bool poison = nonFinite(va) || nonFinite(vb);
+        if (va && vb && *va == *vb && !poison)
             continue;
+        auto render = [&](const Json *v) {
+            if (!v)
+                return std::string("<absent>");
+            if (nonFinite(v))
+                return std::string("null (non-finite)");
+            return v->dump();
+        };
         DiffEntry d;
         d.key = k;
-        d.a = va ? va->dump() : "<absent>";
-        d.b = vb ? vb->dump() : "<absent>";
+        d.a = render(va);
+        d.b = render(vb);
         out.push_back(std::move(d));
     }
 }

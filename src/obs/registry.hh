@@ -34,8 +34,11 @@ namespace lbp
 namespace obs
 {
 
-/** Registry dump format version (bump on layout changes). */
-constexpr int kRegistrySchemaVersion = 1;
+/** Registry dump format version (bump on layout changes). History:
+ *    1  meta/metrics/histograms sections
+ *    2  adds the "git_sha" build-identity stamp (obs/version.hh)
+ */
+constexpr int kRegistrySchemaVersion = 2;
 
 class Counter
 {
@@ -147,8 +150,16 @@ struct DiffEntry
 /**
  * Field-by-field diff of two registry JSON dumps (as produced by
  * Registry::toJson or parsed back from disk). Compares the union of
- * "metrics" and "histograms" keys; "meta" is identity, not data, and
- * is ignored. Returns differing keys in name order.
+ * "metrics" and "histograms" keys; "meta" and "git_sha" are identity,
+ * not data, and are ignored. Returns differing keys in name order.
+ *
+ * Null policy: a non-finite gauge serializes as JSON `null`
+ * (json.cc's writeDouble), and NaN never compares equal to anything —
+ * including itself. A metric that is `null` in either dump is
+ * therefore ALWAYS reported as a diff, even when both sides are
+ * `null`, so a NaN can never silently pass a regression gate. A
+ * missing key is a separate condition ("<absent>") and is reported as
+ * such; the two are never conflated.
  */
 std::vector<DiffEntry> diffRegistries(const Json &a, const Json &b);
 

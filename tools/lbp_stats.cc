@@ -1,24 +1,35 @@
 /**
  * @file
  * Observability front door: run a workload and pretty-print / dump the
- * metrics registry, diff two registry dumps, or export a cycle-level
- * Chrome trace (Perfetto-loadable).
+ * metrics registry, diff two registry dumps, export a cycle-level
+ * Chrome trace (Perfetto-loadable), maintain the bench-history
+ * timeline, and render the self-contained HTML flight recorder.
  *
  *   lbp_stats run <workload> [options]     registry table + dumps
  *   lbp_stats diff <a.json> <b.json>       field-by-field dump diff
  *   lbp_stats trace <workload> [options]   Chrome trace-event JSON
  *   lbp_stats loops <workload> [options]   per-loop scorecard
+ *   lbp_stats history append <doc.json>    flatten + append one record
+ *   lbp_stats history list                 one line per stored record
+ *   lbp_stats history check <doc.json>     statistical regression gate
+ *   lbp_stats report <workload> [options]  single-file HTML report
  *   lbp_stats --trace <workload>           alias for `trace`
+ *   lbp_stats --version                    git SHA + schema versions
  *
  * Options:
  *   --level=aggressive|traditional   compile configuration
  *   --buffer=N                       loop buffer size in ops (256)
  *   --engine=decoded|reference       simulator engine (decoded)
- *   --json=FILE                      write the registry dump as JSON
+ *   --json=FILE                      write the registry dump / check
+ *                                    verdict as JSON
  *   --csv=FILE                       write the registry dump as CSV
- *   --out=FILE                       trace output path
+ *   --out=FILE                       trace / report output path
  *   --sample=N                       keep 1/N of Fetch/Branch/Nullify
  *   --capacity=N                     trace ring capacity in events
+ *   --history=FILE                   jsonl store (BENCH_history.jsonl)
+ *   --source=NAME                    override the record source tag
+ *   --window=N --rel=X --abs=X --madk=K   gate thresholds (history.hh)
+ *   --verbose                        `history check` prints every key
  *
  * `trace` cross-checks the trace against the registry before writing:
  * the sum of ops carried by buffer-hit events must equal the run's
@@ -26,6 +37,10 @@
  * sampling and aggregates are immune to ring overflow, so this holds
  * at any capacity). A mismatch is a simulator/tracing bug and exits
  * nonzero.
+ *
+ * `history check` exits 1 when the gate fails (a regression, an exact
+ * mismatch, a non-finite value, or a vanished key), naming each
+ * offending key on stdout; see obs/history.hh for the window math.
  */
 
 #include <algorithm>
@@ -40,11 +55,14 @@
 #include <vector>
 
 #include "core/compiler.hh"
+#include "obs/history.hh"
 #include "obs/json.hh"
 #include "obs/loop_report.hh"
 #include "obs/publish.hh"
 #include "obs/registry.hh"
+#include "obs/report.hh"
 #include "obs/trace.hh"
+#include "obs/version.hh"
 #include "power/fetch_energy.hh"
 #include "sim/vliw_sim.hh"
 #include "workloads/registry.hh"
@@ -66,6 +84,10 @@ struct Options
     std::string outPath;
     std::uint64_t sample = 1;
     std::size_t capacity = 1u << 20;
+    std::string historyPath = "BENCH_history.jsonl";
+    std::string source;
+    obs::CheckPolicy policy;
+    bool verbose = false;
 };
 
 int
@@ -79,7 +101,16 @@ usage()
         << "                 [--capacity=N] [--buffer=N] [--level=L]\n"
         << "       lbp_stats loops <workload> [--level=L] [--buffer=N]\n"
         << "                 [--engine=E] [--json=F]\n"
+        << "       lbp_stats history append <doc.json> [--history=F]\n"
+        << "                 [--source=NAME]\n"
+        << "       lbp_stats history list [--history=F]\n"
+        << "       lbp_stats history check <doc.json> [--history=F]\n"
+        << "                 [--window=N] [--rel=X] [--abs=X]\n"
+        << "                 [--madk=K] [--json=F] [--verbose]\n"
+        << "       lbp_stats report <workload> [--out=F] [--history=F]\n"
+        << "                 [--level=L] [--buffer=N] [--engine=E]\n"
         << "       lbp_stats list\n"
+        << "       lbp_stats --version\n"
         << "\nworkloads:\n";
     for (const auto &w : workloads::allWorkloads())
         std::cerr << "  " << w.name << "  (" << w.description << ")\n";
@@ -138,6 +169,22 @@ parseArgs(int argc, char **argv, Options &o)
             o.capacity = std::strtoull(v8, nullptr, 10);
             if (o.capacity == 0)
                 o.capacity = 1;
+        } else if (const char *v9 = val("--history")) {
+            o.historyPath = v9;
+        } else if (const char *v10 = val("--source")) {
+            o.source = v10;
+        } else if (const char *v11 = val("--window")) {
+            o.policy.window = std::atoi(v11);
+            if (o.policy.window < 1)
+                o.policy.window = 1;
+        } else if (const char *v12 = val("--rel")) {
+            o.policy.relTol = std::atof(v12);
+        } else if (const char *v13 = val("--abs")) {
+            o.policy.absTol = std::atof(v13);
+        } else if (const char *v14 = val("--madk")) {
+            o.policy.madK = std::atof(v14);
+        } else if (arg == "--verbose") {
+            o.verbose = true;
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "unknown option '" << arg << "'\n";
             return false;
@@ -291,7 +338,8 @@ diffBenchJson(const obs::Json &a, const obs::Json &b,
             if (!a.find(kv.first))
                 keys.push_back(kv.first);
         for (const auto &k : keys) {
-            if (k == "machine" || timingTolerantKey(k))
+            if (k == "machine" || k == "git_sha" ||
+                timingTolerantKey(k))
                 continue;
             const Json *va = a.find(k);
             const Json *vb = b.find(k);
@@ -328,7 +376,10 @@ diffBenchJson(const obs::Json &a, const obs::Json &b,
         }
         return;
     }
-    if (a != b)
+    // Null leaves are serialized NaN/inf gauges; NaN never equals
+    // anything, itself included, so null always diffs (the same
+    // poison policy as obs::diffRegistries).
+    if (a.kind() == Json::Kind::Null || a != b)
         emit(&a, &b);
 }
 
@@ -459,6 +510,126 @@ cmdList()
     return 0;
 }
 
+int
+cmdHistory(const Options &o)
+{
+    if (o.positional.empty())
+        return usage();
+    const std::string &sub = o.positional[0];
+
+    if (sub == "list") {
+        if (o.positional.size() != 1)
+            return usage();
+        std::string error;
+        const auto recs = obs::loadHistory(o.historyPath, error);
+        if (!error.empty()) {
+            std::cerr << error << "\n";
+            return 1;
+        }
+        int i = 0;
+        for (const auto &rec : recs) {
+            std::cout << i++ << "  " << rec.source << "  "
+                      << rec.gitSha << "  " << rec.values.size()
+                      << " value(s)\n";
+        }
+        std::cout << recs.size() << " record(s) in " << o.historyPath
+                  << "\n";
+        return 0;
+    }
+
+    if (o.positional.size() != 2)
+        return usage();
+    const obs::Json doc = loadJson(o.positional[1]);
+
+    if (sub == "append") {
+        const obs::HistoryRecord rec =
+            obs::makeHistoryRecord(doc, o.source);
+        std::string error;
+        if (!obs::appendHistory(o.historyPath, rec, error)) {
+            std::cerr << error << "\n";
+            return 1;
+        }
+        std::cout << "appended " << rec.source << " record ("
+                  << rec.values.size() << " values, " << rec.gitSha
+                  << ") to " << o.historyPath << "\n";
+        return 0;
+    }
+
+    if (sub == "check") {
+        std::string error;
+        const auto recs = obs::loadHistory(o.historyPath, error);
+        if (!error.empty()) {
+            std::cerr << error << "\n";
+            return 1;
+        }
+        const obs::CheckReport report =
+            obs::checkAgainstHistory(recs, doc, o.policy);
+        report.print(std::cout, o.verbose);
+        if (!o.jsonPath.empty()) {
+            if (!writeFile(o.jsonPath, [&](std::ostream &os) {
+                    report.toJson().write(os);
+                    os << "\n";
+                }))
+                return 1;
+            std::cout << "verdict dump: " << o.jsonPath << "\n";
+        }
+        return report.failed() ? 1 : 0;
+    }
+    return usage();
+}
+
+int
+cmdReport(const Options &o)
+{
+    if (o.positional.size() != 1)
+        return usage();
+    const std::string &name = o.positional[0];
+
+    obs::Registry reg;
+    CompileResult cr;
+    const SimStats stats = runWorkload(o, name, reg, nullptr, cr);
+    const FetchEnergy fe = computeFetchEnergy(stats, o.bufferOps);
+    const obs::LoopScorecard sc = obs::buildLoopScorecard(
+        name, cr.loopLog, stats, o.bufferOps, &fe);
+
+    obs::ReportData data;
+    data.workload = name;
+    data.registryDoc = reg.toJson();
+    data.scorecard = obs::scorecardToJson(sc);
+
+    std::string error;
+    data.history = obs::loadHistory(o.historyPath, error);
+    if (!error.empty()) {
+        std::cerr << error << "\n";
+        return 1;
+    }
+    if (!data.history.empty())
+        data.historyPath = o.historyPath;
+
+    // Fold the regression verdict in when the store has a baseline
+    // for this registry document.
+    const obs::CheckReport check =
+        obs::checkAgainstHistory(data.history, data.registryDoc,
+                                 o.policy);
+    if (check.baselineRecords > 0)
+        data.check = check.toJson();
+
+    const std::string out =
+        o.outPath.empty() ? name + ".report.html" : o.outPath;
+    if (!writeFile(out, [&](std::ostream &os) {
+            obs::writeHtmlReport(os, data);
+        }))
+        return 1;
+    std::cout << "report: " << out << " (" << data.history.size()
+              << " history record(s)"
+              << (check.baselineRecords > 0
+                      ? check.failed() ? ", gate: FAIL"
+                                       : ", gate: PASS"
+                      : "")
+              << ")\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -467,6 +638,10 @@ main(int argc, char **argv)
     Options o;
     if (!parseArgs(argc, argv, o))
         return usage();
+    if (o.command == "--version") {
+        std::cout << obs::versionString() << "\n";
+        return 0;
+    }
     if (o.command == "run")
         return cmdRun(o);
     if (o.command == "diff")
@@ -475,6 +650,10 @@ main(int argc, char **argv)
         return cmdTrace(o);
     if (o.command == "loops")
         return cmdLoops(o);
+    if (o.command == "history")
+        return cmdHistory(o);
+    if (o.command == "report")
+        return cmdReport(o);
     if (o.command == "list")
         return cmdList();
     return usage();
