@@ -12,7 +12,10 @@
 
 #include "obs/history.hh"
 #include "obs/loop_report.hh"
+#include "obs/trace.hh"
 #include "obs/version.hh"
+#include "sim/decoded.hh"
+#include "sim/dispatch.hh"
 #include "support/logging.hh"
 
 namespace lbp
@@ -84,6 +87,23 @@ simulate(CompileResult &cr, int bufferOps, PredMode mode,
     return st;
 }
 
+SimStats
+simulateShared(CompileResult &cr, DecodedImage &img, int bufferOps,
+               PredMode mode)
+{
+    reallocateBuffers(cr, bufferOps);
+    rebindBufferAddresses(img, cr.code);
+    SimConfig sc;
+    sc.bufferOps = bufferOps;
+    sc.predMode = mode;
+    sc.engine = SimEngine::DECODED;
+    VliwSim sim(cr.code, sc, &img);
+    SimStats st = sim.run();
+    LBP_ASSERT(st.checksum == cr.goldenChecksum,
+               "simulation checksum mismatch for ", cr.ir.name);
+    return st;
+}
+
 std::vector<std::string>
 benchNames()
 {
@@ -118,6 +138,17 @@ benchJsonDoc(const std::string &benchName)
     machine.set("compiler", Json::str(__VERSION__));
     machine.set("pointer_bits", Json::integer(8 * sizeof(void *)));
     doc.set("machine", std::move(machine));
+
+    // Compiled-in code-path toggles. Unlike "machine" (identity,
+    // ignored by the history gate) these are config-class leaves,
+    // compared exactly: numbers from differently-configured builds
+    // must fail the gate loudly, never silently average into the
+    // same timeline.
+    Json build = Json::object();
+    build.set("threaded_dispatch",
+              Json::boolean(LBP_THREADED_DISPATCH != 0));
+    build.set("trace_hooks", Json::boolean(LBP_TRACE != 0));
+    doc.set("build", std::move(build));
     return doc;
 }
 

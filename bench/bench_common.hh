@@ -47,6 +47,17 @@ SimStats simulate(CompileResult &cr, int bufferOps,
                   PredMode mode = PredMode::SLOT,
                   SimEngine engine = SimEngine::DECODED);
 
+/**
+ * Batched-sweep variant of simulate: run the decoded engine over a
+ * caller-owned shared predecode of @p cr instead of re-decoding
+ * inside the VliwSim constructor. @p img must have been built from
+ * @p cr.code (buildDecodedImage); this call reallocates the buffers
+ * to @p bufferOps and rebinds the image's allocation-dependent
+ * fields, so one decode serves a whole buffer-size sweep.
+ */
+SimStats simulateShared(CompileResult &cr, DecodedImage &img,
+                        int bufferOps, PredMode mode = PredMode::SLOT);
+
 /** The Table-1 benchmark names. */
 std::vector<std::string> benchNames();
 

@@ -6,8 +6,10 @@
 # Continues with an ASan+UBSan build running the observability surface
 # (obs-labeled tests + a traced workload through lbp_stats), since the
 # trace ring and JSON parser are exactly the kind of index-arithmetic
-# code sanitizers pay for, then a TSan build of the same surface
-# (thread pool + concurrent registry updates). Finishes with the bench
+# code sanitizers pay for — plus the engine differential under the
+# LBP_SIM_NO_TRACE_CACHE env override, so both the replay path and the
+# general decoded path run sanitized — then a TSan build of the same
+# surface (thread pool + concurrent registry updates). Finishes with the bench
 # regression gate: re-runs the figure benches and diffs their JSON
 # against the checked-in BENCH_*.json baselines — counters exact,
 # timings and the machine block tolerated (lbp_stats diff policy).
@@ -29,9 +31,15 @@ cmake --build "$BUILD" -j "$(nproc)"
 # Tier-1: everything except the perf-labeled bench smoke.
 ctest --test-dir "$BUILD" --output-on-failure -LE perf
 
-# Engine differential: decoded fast path vs reference interpreter.
-"$BUILD"/tests/lbp_tests --gtest_filter='*EngineDifferential*' \
+# Engine differential: decoded fast path vs reference interpreter
+# (internally runs the trace cache forced on and forced off), then
+# once more with the cache disabled through the env override so the
+# Auto-mode wiring is exercised too.
+"$BUILD"/tests/lbp_sim_tests --gtest_filter='*EngineDifferential*' \
     --gtest_brief=1
+LBP_SIM_NO_TRACE_CACHE=1 \
+    "$BUILD"/tests/lbp_sim_tests \
+    --gtest_filter='*EngineDifferential*' --gtest_brief=1
 
 # Bench smoke (the ctest `perf` label), quick sweep + JSON emission.
 "$BUILD"/bench/bench_sim_fastpath --quick \
@@ -44,8 +52,14 @@ cmake -B "$SAN_BUILD" -S . \
     -DCMAKE_CXX_FLAGS="-O1 -g -fsanitize=address,undefined \
 -fno-sanitize-recover=all -fno-omit-frame-pointer"
 cmake --build "$SAN_BUILD" -j "$(nproc)" \
-    --target lbp_obs_tests lbp_stats
+    --target lbp_obs_tests lbp_sim_tests lbp_stats
 ctest --test-dir "$SAN_BUILD" --output-on-failure -L obs
+# Sanitized engine differential with the trace cache disabled by env:
+# Auto resolves to off (general path sanitized), while the test's own
+# force-on leg keeps the replay path sanitized in the same run.
+LBP_SIM_NO_TRACE_CACHE=1 \
+    "$SAN_BUILD"/tests/lbp_sim_tests \
+    --gtest_filter='*EngineDifferential*' --gtest_brief=1
 "$SAN_BUILD"/tools/lbp_stats trace adpcm_dec \
     --out="$SAN_BUILD"/adpcm_dec.trace.json
 "$SAN_BUILD"/tools/lbp_stats run adpcm_dec \

@@ -8,6 +8,7 @@
 
 #include "obs/registry.hh"
 #include "power/fetch_energy.hh"
+#include "sim/trace_cache.hh"
 #include "sim/vliw_sim.hh"
 #include "support/logging.hh"
 
@@ -93,7 +94,8 @@ LoopDecisionLog::addAttempt(const std::string &name, LoopAttempt a)
 LoopScorecard
 buildLoopScorecard(const std::string &workload,
                    const LoopDecisionLog &log, const SimStats &stats,
-                   int bufferOps, const FetchEnergy *fe)
+                   int bufferOps, const FetchEnergy *fe,
+                   const TraceCacheStats *tc)
 {
     LoopScorecard sc;
     sc.workload = workload;
@@ -139,6 +141,13 @@ buildLoopScorecard(const std::string &workload,
         }
         if (row.fate != LoopFate::Buffered)
             row.missedOps = row.opsFromCache;
+        if (tc && id < tc->perLoop.size()) {
+            row.replayedOps = tc->perLoop[id].ops;
+            if (row.opsFromBuffer)
+                row.replayFraction =
+                    static_cast<double>(row.replayedOps) /
+                    static_cast<double>(row.opsFromBuffer);
+        }
         row.energyNj =
             static_cast<double>(row.opsFromCache) * memNjPerOp +
             static_cast<double>(row.opsFromBuffer) * bufNjPerOp;
@@ -248,8 +257,8 @@ printScorecard(std::ostream &os, const LoopScorecard &sc)
        << "fate" << std::setw(20) << "reason" << std::setw(7)
        << "image" << std::setw(7) << "@addr" << std::setw(12)
        << "dynOps" << std::setw(12) << "bufOps" << std::setw(12)
-       << "missedOps" << std::setw(12) << "energyNj"
-       << "  attempts\n";
+       << "missedOps" << std::setw(9) << "replay%" << std::setw(12)
+       << "energyNj" << "  attempts\n";
 
     for (const auto &row : sc.rows) {
         os << std::left << std::setw(static_cast<int>(w) + 2)
@@ -270,7 +279,13 @@ printScorecard(std::ostream &os, const LoopScorecard &sc)
             os << "-";
         os << std::setw(12) << row.dynOps << std::setw(12)
            << row.opsFromBuffer << std::setw(12) << row.missedOps
-           << std::setw(12) << std::fixed << std::setprecision(1)
+           << std::setw(9);
+        if (row.opsFromBuffer)
+            os << std::fixed << std::setprecision(1)
+               << 100.0 * row.replayFraction << std::defaultfloat;
+        else
+            os << "-";
+        os << std::setw(12) << std::fixed << std::setprecision(1)
            << row.energyNj << std::defaultfloat << "  "
            << attemptsSummary(row) << "\n";
     }
@@ -303,6 +318,8 @@ scorecardToJson(const LoopScorecard &sc)
         r.set("ops_from_cache", Json::uinteger(row.opsFromCache));
         r.set("dyn_ops", Json::uinteger(row.dynOps));
         r.set("missed_ops", Json::uinteger(row.missedOps));
+        r.set("replayed_ops", Json::uinteger(row.replayedOps));
+        r.set("replay_fraction", Json::number(row.replayFraction));
         r.set("energy_nj", Json::number(row.energyNj));
         Json attempts = Json::array();
         for (const auto &a : row.attempts) {
@@ -343,6 +360,8 @@ publishScorecard(Registry &r, const LoopScorecard &sc,
         r.counter(p + "opsFromCache").set(row.opsFromCache);
         r.counter(p + "missedOps").set(row.missedOps);
         r.counter(p + "evictions").set(row.evictions);
+        r.counter(p + "replayedOps").set(row.replayedOps);
+        r.gauge(p + "replayFraction").set(row.replayFraction);
         r.gauge(p + "energyNj").set(row.energyNj);
     }
 }

@@ -48,6 +48,7 @@ namespace lbp
 
 struct SimStats;
 struct FetchEnergy;
+struct TraceCacheStats;
 
 namespace obs
 {
@@ -174,6 +175,16 @@ struct ScorecardRow
      */
     std::uint64_t missedOps = 0;
 
+    /**
+     * Of opsFromBuffer, the ops the decoded engine's trace cache
+     * issued by replay rather than through the general path. Zero
+     * when the run had no trace cache (reference engine, cache
+     * disabled) or the loop never replayed (untraceable body, trip
+     * counts under the engage threshold).
+     */
+    std::uint64_t replayedOps = 0;
+    double replayFraction = 0.0; ///< replayedOps / opsFromBuffer
+
     double energyNj = 0.0;  ///< fetch-energy share of this loop
     std::vector<LoopAttempt> attempts;
 };
@@ -194,7 +205,9 @@ struct LoopScorecard
  * loops, natural loops that never became hardware loops) are appended
  * with loopId -1 and the profile-estimated dynOps. Rows are sorted by
  * dynOps descending, then name. @p fe, when given, prices each row's
- * fetch-energy share from the workload-level breakdown.
+ * fetch-energy share from the workload-level breakdown. @p tc, when
+ * given, attributes the trace cache's per-loop replayed ops to each
+ * row (replayedOps / replayFraction stay zero otherwise).
  *
  * Fatal (assert) if sum of per-loop buffer ops != stats.opsFromBuffer
  * — the attribution invariant both engines maintain by construction.
@@ -202,7 +215,8 @@ struct LoopScorecard
 LoopScorecard buildLoopScorecard(const std::string &workload,
                                  const LoopDecisionLog &log,
                                  const SimStats &stats, int bufferOps,
-                                 const FetchEnergy *fe = nullptr);
+                                 const FetchEnergy *fe = nullptr,
+                                 const TraceCacheStats *tc = nullptr);
 
 /** Sum of per-loop buffer-issued ops (the invariant's left side). */
 std::uint64_t scorecardBufferOps(const LoopScorecard &sc);

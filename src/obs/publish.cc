@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/compiler.hh"
+#include "sim/trace_cache.hh"
 
 namespace lbp
 {
@@ -77,6 +78,19 @@ publishSimStats(Registry &r, const SimStats &s,
         r.counter(p + "opsFromBuffer").set(ls.opsFromBuffer);
         r.counter(p + "opsFromCache").set(ls.opsFromCache);
     }
+}
+
+void
+publishTraceCacheStats(Registry &r, const TraceCacheStats &s,
+                       const std::string &prefix)
+{
+    r.counter(prefix + ".builds").set(s.builds);
+    r.counter(prefix + ".replays").set(s.replays);
+    r.counter(prefix + ".bailouts").set(s.bailouts);
+    r.counter(prefix + ".invalidations").set(s.invalidations);
+    r.counter(prefix + ".replayedIterations")
+        .set(s.replayedIterations);
+    r.counter(prefix + ".replayedOps").set(s.replayedOps);
 }
 
 void

@@ -20,6 +20,7 @@ namespace lbp
 {
 
 struct CompileResult;
+struct TraceCacheStats;
 
 namespace obs
 {
@@ -32,6 +33,17 @@ namespace obs
  */
 void publishSimStats(Registry &r, const SimStats &s,
                      const std::string &prefix = "sim");
+
+/**
+ * Publish the decoded engine's trace-cache side counters under
+ * "<prefix>.{builds,replays,bailouts,invalidations,...}". These live
+ * outside SimStats (the reference engine never replays), so they get
+ * their own publish path; the per-loop replay split is carried by the
+ * loop scorecard instead.
+ */
+void publishTraceCacheStats(Registry &r, const TraceCacheStats &s,
+                            const std::string &prefix
+                            = "sim.trace_cache");
 
 /** Publish one FetchEnergy breakdown under @p prefix. */
 void publishFetchEnergy(Registry &r, const FetchEnergy &e,

@@ -76,6 +76,38 @@ buildLoopTable(const SchedProgram &code)
     return table;
 }
 
+ExecHandler
+classifyHandler(Opcode op)
+{
+    switch (op) {
+      case Opcode::PRED_DEF: return ExecHandler::PRED_DEF;
+      case Opcode::LD_B:
+      case Opcode::LD_H:
+      case Opcode::LD_W: return ExecHandler::LOAD;
+      case Opcode::ST_B:
+      case Opcode::ST_H:
+      case Opcode::ST_W: return ExecHandler::STORE;
+      case Opcode::MOV: return ExecHandler::MOV;
+      case Opcode::ABS: return ExecHandler::ABS;
+      case Opcode::ITOF: return ExecHandler::ITOF;
+      case Opcode::FTOI: return ExecHandler::FTOI;
+      case Opcode::SELECT: return ExecHandler::SELECT;
+      case Opcode::BR:
+      case Opcode::BR_WLOOP: return ExecHandler::BR;
+      case Opcode::JUMP: return ExecHandler::JUMP;
+      case Opcode::BR_CLOOP: return ExecHandler::BR_CLOOP;
+      case Opcode::REC_CLOOP:
+      case Opcode::REC_WLOOP:
+      case Opcode::EXEC_CLOOP:
+      case Opcode::EXEC_WLOOP: return ExecHandler::LOOP;
+      case Opcode::CALL: return ExecHandler::CALL;
+      case Opcode::RET: return ExecHandler::RET;
+      case Opcode::NOP:
+        LBP_PANIC("NOP has no executor handler");
+      default: return ExecHandler::ALU;
+    }
+}
+
 namespace
 {
 
@@ -113,6 +145,7 @@ decodeOp(const SchedOp &so, FuncId f, const SchedFunction &sf,
     const Operation &op = so.op;
     MicroOp m;
     m.op = op.op;
+    m.handler = classifyHandler(op.op);
     m.cond = op.cond;
     m.k0 = op.defKind0;
     m.k1 = op.defKind1;
@@ -261,6 +294,44 @@ decodeProgram(const SchedProgram &code, const LoopTable &loops)
         }
     }
     return dp;
+}
+
+DecodedImage
+buildDecodedImage(const SchedProgram &code)
+{
+    DecodedImage img;
+    img.loops = buildLoopTable(code);
+    img.program = decodeProgram(code, img.loops);
+    return img;
+}
+
+void
+rebindBufferAddresses(DecodedImage &img, const SchedProgram &code)
+{
+    // Current allocation, gathered exactly as buildLoopTable scans.
+    std::vector<std::int32_t> addr(img.loops.keys.size(), -1);
+    for (FuncId f = 0; f < code.functions.size(); ++f) {
+        for (const SchedBlock &sb : code.functions[f].blocks) {
+            if (!sb.valid)
+                continue;
+            for (const Bundle &bu : sb.bundles) {
+                for (const SchedOp &so : bu.ops) {
+                    if (!isBufferOp(so.op.op))
+                        continue;
+                    addr[img.loops.idOf({f, so.op.id})] =
+                        so.op.bufAddr;
+                }
+            }
+        }
+    }
+    for (std::size_t i = 0; i < addr.size(); ++i)
+        img.loops.proto[i].bufAddr = addr[i];
+    for (DecodedFunction &df : img.program.functions) {
+        for (MicroOp &m : df.ops) {
+            if (m.loopId >= 0)
+                m.bufAddr = addr[m.loopId];
+        }
+    }
 }
 
 } // namespace lbp

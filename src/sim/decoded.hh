@@ -58,6 +58,37 @@ struct XSrc
     std::int64_t imm = 0;      ///< immediate payload
 };
 
+/**
+ * Dispatch class of a MicroOp, assigned once at predecode. The
+ * executor dispatches on this byte — either through a computed-goto
+ * label table (LBP_THREADED_DISPATCH on GCC/Clang) or a dense switch —
+ * instead of re-classifying the full Opcode per execution. Opcodes
+ * that share a handler share a value (all loads, all stores, the
+ * binary ALU family, REC/EXEC, BR/BR_WLOOP).
+ */
+enum class ExecHandler : std::uint8_t
+{
+    PRED_DEF,
+    LOAD,
+    STORE,
+    MOV,
+    ABS,
+    ITOF,
+    FTOI,
+    SELECT,
+    BR,        ///< BR and BR_WLOOP (cond + possible wloop backedge)
+    JUMP,
+    BR_CLOOP,
+    LOOP,      ///< REC_CLOOP/REC_WLOOP/EXEC_CLOOP/EXEC_WLOOP
+    CALL,
+    RET,
+    ALU,       ///< two-source arithmetic/logic/compare family
+    COUNT,
+};
+
+/** Handler class for @p op (NOPs never reach the executor). */
+ExecHandler classifyHandler(Opcode op);
+
 /** One predecoded operation (POD, fixed size). */
 struct MicroOp
 {
@@ -65,6 +96,14 @@ struct MicroOp
     CmpCond cond = CmpCond::EQ;
     PredDefKind k0 = PredDefKind::NONE;
     PredDefKind k1 = PredDefKind::NONE;
+
+    ExecHandler handler = ExecHandler::ALU;
+    /**
+     * Trace-cache replay only: the op can never be nullified under
+     * the mode the trace was built for (no guard, and in SLOT mode
+     * not sensitive). Unused by the general executor.
+     */
+    bool alwaysExec = false;
 
     std::int8_t slot = kNoSlot;
     bool sensitive = false;
@@ -146,6 +185,32 @@ struct DecodedProgram
  */
 DecodedProgram decodeProgram(const SchedProgram &code,
                              const LoopTable &loops);
+
+/**
+ * A complete shareable predecode of one SchedProgram: the interned
+ * loop table plus the micro-op image built against it. Several sim
+ * instances can run over one image concurrently (it is read-only at
+ * run time), which is what the batched bench sweep does to amortize
+ * decode across a buffer-size sweep.
+ */
+struct DecodedImage
+{
+    LoopTable loops;
+    DecodedProgram program;
+};
+
+/** Predecode @p code into a self-contained shareable image. */
+DecodedImage buildDecodedImage(const SchedProgram &code);
+
+/**
+ * Refresh the buffer-allocation-dependent fields of @p img after a
+ * reallocateBuffers() pass mutated the SchedProgram it was decoded
+ * from: the bufAddr captured on every REC/EXEC MicroOp and in the
+ * LoopTable's per-loop prototypes. Everything else in the image is
+ * allocation-invariant, so a size sweep can decode once and rebind
+ * per point instead of re-decoding the whole program.
+ */
+void rebindBufferAddresses(DecodedImage &img, const SchedProgram &code);
 
 } // namespace lbp
 

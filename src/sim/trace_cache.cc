@@ -1,0 +1,667 @@
+/**
+ * @file
+ * Trace build (with its static safety gating) and the replay loop.
+ *
+ * The replay loop is a semantic twin of the decoded executor body
+ * restricted to straight-line resident-loop iterations: same two-phase
+ * bundle commit (unless the build proved a bundle direct-committable),
+ * same nullification and sensitivity accounting, same per-loop
+ * attribution — but with the block walk, fetch-path test and
+ * per-bundle counter updates hoisted out (bulk per-iteration, and for
+ * counted loops bulk per-activation). Every counter it touches must
+ * end a run bit-identical to the general path; the engine-differential
+ * test enforces that against the reference interpreter with the cache
+ * force-enabled and force-disabled.
+ */
+
+#include "sim/trace_cache.hh"
+
+#include <algorithm>
+
+#include "sim/dispatch.hh"
+#include "sim/vliw_sim.hh"
+#include "support/logging.hh"
+
+namespace lbp
+{
+
+namespace
+{
+
+std::int64_t
+sat16(std::int64_t v)
+{
+    return std::clamp<std::int64_t>(v, -32768, 32767);
+}
+
+double
+asDouble(std::int64_t v)
+{
+    double d;
+    __builtin_memcpy(&d, &v, sizeof(d));
+    return d;
+}
+
+std::int64_t
+asBits(double d)
+{
+    std::int64_t v;
+    __builtin_memcpy(&v, &d, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+TraceCache::TraceCache(std::size_t numLoops, bool slotMode)
+    : traces_(numLoops), slotMode_(slotMode)
+{
+    stats_.perLoop.resize(numLoops);
+}
+
+void
+TraceCache::resetRunStats()
+{
+    TraceCacheStats fresh;
+    fresh.perLoop.resize(traces_.size());
+    stats_ = std::move(fresh);
+}
+
+void
+TraceCache::invalidate(int loopId)
+{
+    LoopTrace &tr = traces_[loopId];
+    if (tr.state != LoopTrace::State::Ready)
+        return;
+    tr.state = LoopTrace::State::Stale;
+    ++stats_.invalidations;
+}
+
+LoopTrace &
+TraceCache::acquire(const LoopCtx &ctx, const DecodedFunction &df)
+{
+    LBP_ASSERT(ctx.loopId >= 0 &&
+                   static_cast<std::size_t>(ctx.loopId) <
+                       traces_.size(),
+               "trace cache: loop id out of range");
+    LoopTrace &tr = traces_[ctx.loopId];
+    if (tr.state == LoopTrace::State::Unbuilt)
+        build(tr, ctx, df);
+    else if (tr.state == LoopTrace::State::Stale)
+        tr.state = LoopTrace::State::Ready;  // O(1): see State::Stale
+    return tr;
+}
+
+void
+TraceCache::build(LoopTrace &tr, const LoopCtx &ctx,
+                  const DecodedFunction &df)
+{
+    // Verdict defaults to Untraceable; every early return below is a
+    // body shape the replay loop cannot reproduce bit-exactly.
+    tr.state = LoopTrace::State::Untraceable;
+    tr.wloop = !ctx.counted;
+
+    const DecodedBlock &db = df.blocks[ctx.head];
+    if (!db.valid || db.bundleCount == 0)
+        return;
+
+    // The backedge: the loop's own BR_CLOOP / BR_WLOOP back to the
+    // head, unguarded and non-sensitive (a predicated backedge could
+    // be nullified mid-activation, which replay does not model).
+    const Opcode beOp =
+        ctx.counted ? Opcode::BR_CLOOP : Opcode::BR_WLOOP;
+    std::int32_t beBundle = -1;
+    const MicroOp *backedge = nullptr;
+    for (std::uint32_t bi = 0;
+         bi < db.bundleCount && backedge == nullptr; ++bi) {
+        const DecodedBundle &bu = df.bundles[db.firstBundle + bi];
+        for (std::uint32_t oi = 0; oi < bu.count; ++oi) {
+            const MicroOp &m = df.ops[bu.first + oi];
+            if (m.op == beOp && m.target == ctx.head) {
+                backedge = &m;
+                beBundle = static_cast<std::int32_t>(bi);
+                break;
+            }
+        }
+    }
+    if (backedge == nullptr || backedge->guard != kNoPred ||
+        backedge->sensitive)
+        return;
+
+    // Every other op up to the backedge bundle must be straight-line:
+    // any second control transfer (abnormal exit, nested loop, call)
+    // makes the body untraceable and the general path keeps it.
+    for (std::int32_t bi = 0; bi <= beBundle; ++bi) {
+        const DecodedBundle &bu = df.bundles[db.firstBundle + bi];
+        for (std::uint32_t oi = 0; oi < bu.count; ++oi) {
+            const MicroOp &m = df.ops[bu.first + oi];
+            if (&m == backedge)
+                continue;
+            switch (m.handler) {
+              case ExecHandler::PRED_DEF:
+              case ExecHandler::LOAD:
+              case ExecHandler::STORE:
+              case ExecHandler::MOV:
+              case ExecHandler::ABS:
+              case ExecHandler::ITOF:
+              case ExecHandler::FTOI:
+              case ExecHandler::SELECT:
+              case ExecHandler::ALU:
+                break;
+              default:
+                return;
+            }
+        }
+    }
+
+    // Flatten bundles 0..backedge, baking the static facts replay
+    // uses: can the op ever be nullified, and can the bundle commit
+    // writes in place (no op reads register/predicate/slot state an
+    // earlier same-bundle op writes; no load after a store).
+    for (std::int32_t bi = 0; bi <= beBundle; ++bi) {
+        const DecodedBundle &bu = df.bundles[db.firstBundle + bi];
+        TraceBundle tb;
+        tb.first = static_cast<std::uint32_t>(tr.ops.size());
+        tb.sizeOps = bu.sizeOps;
+
+        std::vector<std::int32_t> wRegs, wPreds, wSlots;
+        bool sawStore = false;
+        int slotWrites = 0;
+        bool direct = true;
+        auto wrote = [](const std::vector<std::int32_t> &v,
+                        std::int32_t x) {
+            return std::find(v.begin(), v.end(), x) != v.end();
+        };
+        auto readsEarlierWrite = [&](const MicroOp &m) {
+            if (m.guard != kNoPred && wrote(wPreds, m.guard))
+                return true;
+            if (slotMode_ && m.sensitive && wrote(wSlots, m.slot))
+                return true;
+            for (const XSrc &s : m.src) {
+                if (s.kind == XSrc::REG &&
+                    wrote(wRegs, static_cast<std::int32_t>(s.idx)))
+                    return true;
+                if (s.kind == XSrc::PRED &&
+                    wrote(wPreds, static_cast<std::int32_t>(s.idx)))
+                    return true;
+            }
+            return m.handler == ExecHandler::LOAD && sawStore;
+        };
+
+        for (std::uint32_t oi = 0; oi < bu.count; ++oi) {
+            const MicroOp &m = df.ops[bu.first + oi];
+            if (&m == backedge)
+                continue;
+            if (readsEarlierWrite(m))
+                direct = false;
+            if (m.handler == ExecHandler::PRED_DEF) {
+                auto recDst = [&](PredDefKind k, std::uint8_t kind,
+                                  std::int32_t idx) {
+                    if (k == PredDefKind::NONE || kind == 0)
+                        return;
+                    if (kind == 2) {
+                        wSlots.push_back(idx);
+                        ++slotWrites;
+                    } else {
+                        wPreds.push_back(idx);
+                    }
+                };
+                recDst(m.k0, m.pdKind0, m.pdIdx0);
+                recDst(m.k1, m.pdKind1, m.pdIdx1);
+            } else if (m.handler == ExecHandler::STORE) {
+                sawStore = true;
+            } else if (m.dstReg >= 0) {
+                wRegs.push_back(m.dstReg);
+            }
+            MicroOp copy = m;
+            copy.alwaysExec = m.guard == kNoPred &&
+                              !(slotMode_ && m.sensitive);
+            if (slotMode_ && m.sensitive)
+                ++tr.sensitivePerIter;
+            tr.ops.push_back(copy);
+        }
+        // Two slot writes in one cycle trip a conflict assert on the
+        // two-phase path; keep that diagnosable.
+        if (slotWrites >= 2)
+            direct = false;
+        // While backedges read their condition at the head of the
+        // bundle in replay; that snapshot is only exact if nothing in
+        // the bundle commits to the condition sources before it.
+        if (bi == beBundle && tr.wloop) {
+            for (const XSrc *s :
+                 {&backedge->src[0], &backedge->src[1]}) {
+                if ((s->kind == XSrc::REG &&
+                     wrote(wRegs,
+                           static_cast<std::int32_t>(s->idx))) ||
+                    (s->kind == XSrc::PRED &&
+                     wrote(wPreds,
+                           static_cast<std::int32_t>(s->idx))))
+                    direct = false;
+            }
+        }
+        tb.count =
+            static_cast<std::uint32_t>(tr.ops.size()) - tb.first;
+        tb.direct = direct;
+        tr.bundles.push_back(tb);
+        tr.opsPerIter += static_cast<std::uint64_t>(bu.sizeOps);
+    }
+
+    tr.beCond = backedge->cond;
+    tr.beSrc0 = backedge->src[0];
+    tr.beSrc1 = backedge->src[1];
+    tr.resumeBundle = static_cast<std::uint32_t>(beBundle + 1);
+    tr.bundlesPerIter = static_cast<std::uint64_t>(beBundle) + 1;
+    tr.state = LoopTrace::State::Ready;
+    ++stats_.builds;
+}
+
+ReplayResult
+VliwSim::replayResident(LoopCtx &ctx, const DecodedFunction &df,
+                        std::int64_t *regs, std::uint8_t *preds)
+{
+    TraceCache &tc = *traceCache_;
+    LoopTrace &tr = tc.acquire(ctx, df);
+    if (tr.state != LoopTrace::State::Ready) {
+        // Once per activation, not once per iteration arrival.
+        if (!ctx.traceDeclined) {
+            ctx.traceDeclined = true;
+            ++tc.stats().bailouts;
+        }
+        return {};
+    }
+
+    TraceCacheStats &tcs = tc.stats();
+    ++tcs.replays;
+    LoopStats &ls = stats_.loops[ctx.loopId];
+    const bool slotMode = tc.slotMode();
+    std::uint8_t *const slotPred = slotPred_.data();
+
+    auto readSrc = [&](const XSrc &s) -> std::int64_t {
+        if (s.kind == XSrc::REG)
+            return regs[s.idx];
+        if (s.kind == XSrc::IMM)
+            return s.imm;
+        return preds[s.idx];
+    };
+
+    // Deferred writes for bundles the build could not prove
+    // direct-committable — same shapes as the executor body.
+    struct RegWrite { std::int32_t r; std::int64_t v; };
+    struct PredWrite { std::int32_t p; std::uint8_t v; };
+    struct SlotWrite { std::int32_t s; std::uint8_t v; };
+    struct MemWrite { Opcode op; std::int64_t addr; std::int64_t v; };
+    RegWrite regW[Machine::width];
+    PredWrite predW[2 * Machine::width];
+    SlotWrite slotW[2 * Machine::width];
+    MemWrite memW[Machine::width];
+
+    auto storeBytes = [&](Opcode op, std::int64_t addr,
+                          std::int64_t v) {
+        const size_t need = op == Opcode::ST_B ? 1
+                            : op == Opcode::ST_H ? 2 : 4;
+        LBP_ASSERT(addr >= 0 && static_cast<size_t>(addr) + need <=
+                                    mem_.size(),
+                   "store fault @", addr);
+        for (size_t k = 0; k < need; ++k) {
+            mem_[addr + k] = static_cast<std::uint8_t>(
+                (v >> (8 * k)) & 0xff);
+        }
+    };
+
+    const MicroOp *const opBase = tr.ops.data();
+    const TraceBundle *const buBase = tr.bundles.data();
+    const std::size_t nBundles = tr.bundles.size();
+    const bool wloop = tr.wloop;
+
+    // While-backedge condition operands, snapshotted at the head of
+    // the backedge bundle (exactness guaranteed by the build).
+    std::int64_t beA = 0, beB = 0;
+
+    auto execIteration = [&]() {
+        LBP_DISPATCH_TABLE();
+        for (std::size_t bi = 0; bi < nBundles; ++bi) {
+            const TraceBundle &tb = buBase[bi];
+            if (wloop && bi + 1 == nBundles) {
+                beA = readSrc(tr.beSrc0);
+                beB = readSrc(tr.beSrc1);
+            }
+            const bool direct = tb.direct;
+            int nRegW = 0, nPredW = 0, nSlotW = 0, nMemW = 0;
+
+            for (const MicroOp *m = opBase + tb.first,
+                               *const end = m + tb.count;
+                 m != end; ++m) {
+                if (!m->alwaysExec) {
+                    bool exec;
+                    if (slotMode && m->sensitive)
+                        exec = slotPred[m->slot] != 0;
+                    else
+                        exec = m->guard == kNoPred ||
+                               preds[m->guard] != 0;
+                    if (!exec &&
+                        m->handler != ExecHandler::PRED_DEF) {
+                        ++stats_.opsNullified;
+                        continue;
+                    }
+                }
+
+                LBP_DISPATCH(m->handler) {
+                  LBP_HANDLER(PRED_DEF) {
+                    bool g;
+                    if (m->alwaysExec) {
+                        g = true;
+                    } else if (slotMode && m->sensitive) {
+                        g = slotPred[m->slot] != 0;
+                    } else if (m->guard != kNoPred) {
+                        g = preds[m->guard] != 0;
+                    } else {
+                        g = true;
+                    }
+                    const std::int64_t a = readSrc(m->src[0]);
+                    const std::int64_t b = readSrc(m->src[1]);
+                    const bool c = evalCond(m->cond, a, b);
+                    auto apply = [&](PredDefKind k,
+                                     std::uint8_t dKind,
+                                     std::int32_t dIdx) {
+                        if (k == PredDefKind::NONE || dKind == 0)
+                            return;
+                        int w = -1;
+                        switch (k) {
+                          case PredDefKind::UT:
+                            w = g ? (c ? 1 : 0) : 0;
+                            break;
+                          case PredDefKind::UF:
+                            w = g ? (c ? 0 : 1) : 0;
+                            break;
+                          case PredDefKind::OT:
+                            if (g && c) w = 1;
+                            break;
+                          case PredDefKind::OF:
+                            if (g && !c) w = 1;
+                            break;
+                          case PredDefKind::AT:
+                            if (g && !c) w = 0;
+                            break;
+                          case PredDefKind::AF:
+                            if (g && c) w = 0;
+                            break;
+                          case PredDefKind::CT:
+                            if (g) w = c;
+                            break;
+                          case PredDefKind::CF:
+                            if (g) w = !c;
+                            break;
+                          default:
+                            LBP_PANIC("bad def kind");
+                        }
+                        if (w < 0)
+                            return;
+                        if (dKind == 2) {
+                            if (direct)
+                                slotPred[dIdx] =
+                                    static_cast<std::uint8_t>(w);
+                            else
+                                slotW[nSlotW++] =
+                                    {dIdx,
+                                     static_cast<std::uint8_t>(w)};
+                        } else {
+                            if (direct)
+                                preds[dIdx] =
+                                    static_cast<std::uint8_t>(w);
+                            else
+                                predW[nPredW++] =
+                                    {dIdx,
+                                     static_cast<std::uint8_t>(w)};
+                        }
+                    };
+                    apply(m->k0, m->pdKind0, m->pdIdx0);
+                    apply(m->k1, m->pdKind1, m->pdIdx1);
+                    LBP_NEXT_OP;
+                  }
+
+                  LBP_HANDLER(LOAD) {
+                    const std::int64_t addr =
+                        readSrc(m->src[0]) + readSrc(m->src[1]);
+                    const size_t need = m->op == Opcode::LD_B ? 1
+                                        : m->op == Opcode::LD_H ? 2
+                                                                : 4;
+                    std::int64_t v = 0;
+                    const bool oob =
+                        addr < 0 ||
+                        static_cast<size_t>(addr) + need >
+                            mem_.size();
+                    if (oob) {
+                        LBP_ASSERT(m->speculative,
+                                   "non-speculative load fault @",
+                                   addr);
+                        v = 0;
+                    } else {
+                        std::uint32_t raw = 0;
+                        for (size_t i = 0; i < need; ++i) {
+                            raw |= static_cast<std::uint32_t>(
+                                       mem_[addr + i])
+                                   << (8 * i);
+                        }
+                        v = m->op == Opcode::LD_B
+                                ? static_cast<std::int8_t>(raw)
+                            : m->op == Opcode::LD_H
+                                ? static_cast<std::int16_t>(raw)
+                                : static_cast<std::int32_t>(raw);
+                    }
+                    if (direct)
+                        regs[m->dstReg] = v;
+                    else
+                        regW[nRegW++] = {m->dstReg, v};
+                    LBP_NEXT_OP;
+                  }
+
+                  LBP_HANDLER(STORE) {
+                    const std::int64_t addr =
+                        readSrc(m->src[0]) + readSrc(m->src[1]);
+                    const std::int64_t v = readSrc(m->src[2]);
+                    if (direct)
+                        storeBytes(m->op, addr, v);
+                    else
+                        memW[nMemW++] = {m->op, addr, v};
+                    LBP_NEXT_OP;
+                  }
+
+                  LBP_HANDLER(MOV) {
+                    const std::int64_t v = readSrc(m->src[0]);
+                    if (direct)
+                        regs[m->dstReg] = v;
+                    else
+                        regW[nRegW++] = {m->dstReg, v};
+                    LBP_NEXT_OP;
+                  }
+                  LBP_HANDLER(ABS) {
+                    const std::int64_t v =
+                        std::abs(readSrc(m->src[0]));
+                    if (direct)
+                        regs[m->dstReg] = v;
+                    else
+                        regW[nRegW++] = {m->dstReg, v};
+                    LBP_NEXT_OP;
+                  }
+                  LBP_HANDLER(ITOF) {
+                    const std::int64_t v = asBits(
+                        static_cast<double>(readSrc(m->src[0])));
+                    if (direct)
+                        regs[m->dstReg] = v;
+                    else
+                        regW[nRegW++] = {m->dstReg, v};
+                    LBP_NEXT_OP;
+                  }
+                  LBP_HANDLER(FTOI) {
+                    const std::int64_t v =
+                        static_cast<std::int64_t>(
+                            asDouble(readSrc(m->src[0])));
+                    if (direct)
+                        regs[m->dstReg] = v;
+                    else
+                        regW[nRegW++] = {m->dstReg, v};
+                    LBP_NEXT_OP;
+                  }
+                  LBP_HANDLER(SELECT) {
+                    const std::int64_t c = readSrc(m->src[0]);
+                    const std::int64_t v = c ? readSrc(m->src[1])
+                                             : readSrc(m->src[2]);
+                    if (direct)
+                        regs[m->dstReg] = v;
+                    else
+                        regW[nRegW++] = {m->dstReg, v};
+                    LBP_NEXT_OP;
+                  }
+
+                  LBP_HANDLER(ALU) {
+                    const std::int64_t a = readSrc(m->src[0]);
+                    const std::int64_t b = readSrc(m->src[1]);
+                    std::int64_t v = 0;
+                    switch (m->op) {
+                      case Opcode::ADD: v = a + b; break;
+                      case Opcode::SUB: v = a - b; break;
+                      case Opcode::MUL: v = a * b; break;
+                      case Opcode::DIV:
+                        LBP_ASSERT(b != 0, "div by zero");
+                        v = a / b;
+                        break;
+                      case Opcode::REM:
+                        LBP_ASSERT(b != 0, "rem by zero");
+                        v = a % b;
+                        break;
+                      case Opcode::AND: v = a & b; break;
+                      case Opcode::OR: v = a | b; break;
+                      case Opcode::XOR: v = a ^ b; break;
+                      case Opcode::SHL: v = a << (b & 63); break;
+                      case Opcode::SHR:
+                        v = static_cast<std::int64_t>(
+                            static_cast<std::uint64_t>(a) >>
+                            (b & 63));
+                        break;
+                      case Opcode::SHRA: v = a >> (b & 63); break;
+                      case Opcode::MIN: v = std::min(a, b); break;
+                      case Opcode::MAX: v = std::max(a, b); break;
+                      case Opcode::SATADD: v = sat16(a + b); break;
+                      case Opcode::SATSUB: v = sat16(a - b); break;
+                      case Opcode::CMP:
+                        v = evalCond(m->cond, a, b) ? 1 : 0;
+                        break;
+                      case Opcode::FADD:
+                        v = asBits(asDouble(a) + asDouble(b));
+                        break;
+                      case Opcode::FSUB:
+                        v = asBits(asDouble(a) - asDouble(b));
+                        break;
+                      case Opcode::FMUL:
+                        v = asBits(asDouble(a) * asDouble(b));
+                        break;
+                      case Opcode::FDIV:
+                        v = asBits(asDouble(a) / asDouble(b));
+                        break;
+                      default:
+                        LBP_PANIC("unhandled opcode in replay: ",
+                                  opcodeName(m->op));
+                    }
+                    if (direct)
+                        regs[m->dstReg] = v;
+                    else
+                        regW[nRegW++] = {m->dstReg, v};
+                    LBP_NEXT_OP;
+                  }
+
+                  // Control never survives the build gating.
+                  LBP_HANDLER(BR)
+                  LBP_HANDLER(JUMP)
+                  LBP_HANDLER(BR_CLOOP)
+                  LBP_HANDLER(LOOP)
+                  LBP_HANDLER(CALL)
+                  LBP_HANDLER(RET) {
+                    LBP_PANIC("control op in replay trace");
+                  }
+                  LBP_BAD_HANDLER();
+                }
+                LBP_DISPATCH_END;
+            }
+
+            if (!direct) {
+                for (int i = 0; i < nRegW; ++i)
+                    regs[regW[i].r] = regW[i].v;
+                for (int i = 0; i < nPredW; ++i)
+                    preds[predW[i].p] = predW[i].v;
+                for (int i = 0; i < nSlotW; ++i) {
+                    for (int j = i + 1; j < nSlotW; ++j) {
+                        LBP_ASSERT(slotW[i].s != slotW[j].s ||
+                                       slotW[i].v == slotW[j].v,
+                                   "conflicting same-cycle slot-"
+                                   "predicate writes");
+                    }
+                    slotPred[slotW[i].s] = slotW[i].v;
+                }
+                for (int i = 0; i < nMemW; ++i)
+                    storeBytes(memW[i].op, memW[i].addr, memW[i].v);
+            }
+        }
+    };
+
+    std::uint64_t iters = 0;
+    ReplayOutcome outcome;
+
+    if (!wloop) {
+        // Counted: the iteration count is known now, so every
+        // per-iteration counter is applied in one shot and the hot
+        // loop below runs pure op semantics.
+        const std::uint64_t n =
+            static_cast<std::uint64_t>(ctx.remaining);
+        bundlesExecuted_ += n * tr.bundlesPerIter;
+        LBP_ASSERT(bundlesExecuted_ <= cfg_.maxBundles,
+                   "bundle budget exceeded");
+        stats_.bundles += n * tr.bundlesPerIter;
+        stats_.cycles += n * tr.bundlesPerIter;
+        stats_.opsFetched += n * tr.opsPerIter;
+        stats_.opsFromBuffer += n * tr.opsPerIter;
+        ls.opsFromBuffer += n * tr.opsPerIter;
+        if (slotMode)
+            stats_.opsSensitive += n * tr.sensitivePerIter;
+        stats_.branches += n;
+        stats_.branchesTaken += n - 1;
+        ctx.iterations += n;
+        ls.bufferIterations += n;
+        ctx.remaining = 0;
+        for (std::uint64_t it = 0; it < n; ++it)
+            execIteration();
+        iters = n;
+        outcome = ReplayOutcome::CountedDone;
+    } else {
+        outcome = ReplayOutcome::WloopExit;
+        for (;;) {
+            bundlesExecuted_ += tr.bundlesPerIter;
+            LBP_ASSERT(bundlesExecuted_ <= cfg_.maxBundles,
+                       "bundle budget exceeded");
+            stats_.bundles += tr.bundlesPerIter;
+            stats_.cycles += tr.bundlesPerIter;
+            stats_.opsFetched += tr.opsPerIter;
+            stats_.opsFromBuffer += tr.opsPerIter;
+            ls.opsFromBuffer += tr.opsPerIter;
+            if (slotMode)
+                stats_.opsSensitive += tr.sensitivePerIter;
+            execIteration();
+            ++iters;
+            ++stats_.branches;
+            ++ctx.iterations;
+            ++ls.bufferIterations;
+            if (!evalCond(tr.beCond, beA, beB))
+                break;  // while exit: the caller pays the penalty
+            ++stats_.branchesTaken;
+        }
+    }
+
+    tcs.replayedIterations += iters;
+    tcs.replayedOps += iters * tr.opsPerIter;
+    TraceCacheStats::PerLoop &pl = tcs.perLoop[ctx.loopId];
+    ++pl.replays;
+    pl.iterations += iters;
+    pl.ops += iters * tr.opsPerIter;
+
+    return {outcome, tr.resumeBundle};
+}
+
+} // namespace lbp

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Resident-loop trace cache for the decoded executor: the software
+ * twin of the modeled loop buffer's replay mechanism.
+ *
+ * When the loop buffer reports a loop resident, the general decoded
+ * path still re-walks the block table, re-checks fetch accounting and
+ * re-dispatches every micro-op of every iteration. The trace cache
+ * instead builds — once, at first replayed residency — a flattened
+ * per-loop trace of the body bundles up to and including the backedge,
+ * with per-op facts that are invariant for the whole activation baked
+ * in (can the op ever be nullified; can the bundle commit its writes
+ * directly), and then replays that trace iteration after iteration
+ * until the loop's own exit, bulk-accounting the per-iteration
+ * counters. Control is handed back to the general path exactly at the
+ * bundle after the backedge (counted exit / while exit) or at the
+ * EXEC resume point.
+ *
+ * Safety gating happens entirely at build time: a body qualifies only
+ * if its sole control transfer is the loop's own unguarded,
+ * non-sensitive backedge and every other op is from the straight-line
+ * set (predicate defines, loads/stores, moves/converts/select, the
+ * ALU family). Anything else — abnormal exits, nested loops, calls —
+ * marks the loop Untraceable and the general path runs it forever
+ * (counted per activation as a bailout). There are therefore no
+ * mid-iteration bailout paths to keep bit-exact: a trace either
+ * replays whole iterations or never engages.
+ *
+ * Invalidation: when the loop buffer evicts a loop's image, the
+ * trace dies with it (the hardware analogy: replay state cannot
+ * outlive the image) and is rebuilt at the next residency.
+ *
+ * The replay loop itself is VliwSim::replayResident (trace_cache.cc) —
+ * a member so it can touch the same state the executor body does; the
+ * engine-differential test pins its SimStats bit-identical to both
+ * the general decoded path and the reference interpreter.
+ */
+
+#ifndef LBP_SIM_TRACE_CACHE_HH
+#define LBP_SIM_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/decoded.hh"
+
+namespace lbp
+{
+
+/**
+ * Side-band trace-cache counters. Deliberately NOT part of SimStats:
+ * the reference engine never replays, so folding these into the
+ * differentially-compared stats would break the bit-identical
+ * contract. Published as sim.trace_cache.* registry counters.
+ */
+struct TraceCacheStats
+{
+    std::uint64_t builds = 0;        ///< traces built (incl. rebuilds)
+    std::uint64_t replays = 0;       ///< engagements (≥1 iteration each)
+    std::uint64_t bailouts = 0;      ///< activations declined (untraceable)
+    std::uint64_t invalidations = 0; ///< traces dropped on image eviction
+    std::uint64_t replayedIterations = 0;
+    std::uint64_t replayedOps = 0;   ///< ops issued from traces
+
+    struct PerLoop
+    {
+        std::uint64_t replays = 0;
+        std::uint64_t iterations = 0;
+        std::uint64_t ops = 0;       ///< of LoopStats::opsFromBuffer
+    };
+    std::vector<PerLoop> perLoop;    ///< indexed by dense loop id
+};
+
+/** One flattened bundle of a built trace. */
+struct TraceBundle
+{
+    std::uint32_t first = 0;    ///< into LoopTrace::ops
+    std::uint32_t count = 0;
+    std::int32_t sizeOps = 0;   ///< fetch size (for bulk accounting)
+    /**
+     * No op in the bundle reads register/predicate/slot state an
+     * earlier op in the same bundle writes (and no load follows a
+     * store), so writes can commit in place instead of through the
+     * two-phase deferred-write buffers.
+     */
+    bool direct = false;
+};
+
+/** A per-loop flattened replay trace. */
+struct LoopTrace
+{
+    enum class State : std::uint8_t
+    {
+        Unbuilt,
+        Ready,
+        /**
+         * The loop buffer evicted the image this trace models. Trace
+         * content is allocation-invariant (REC/EXEC ops — the only
+         * bufAddr carriers — never survive the build gating), so
+         * revalidation at the next residency is O(1); the state
+         * exists so any future allocation-dependent trace content
+         * has a correct hook, and so eviction-heavy workloads do not
+         * pay a full rebuild per activation.
+         */
+        Stale,
+        Untraceable,
+    };
+    State state = State::Unbuilt;
+    bool wloop = false;              ///< backedge is BR_WLOOP
+
+    std::vector<MicroOp> ops;        ///< body ops, backedge excluded
+    std::vector<TraceBundle> bundles;///< head bundles 0..backedge
+
+    // While-loop backedge condition (read at the backedge bundle).
+    CmpCond beCond = CmpCond::EQ;
+    XSrc beSrc0, beSrc1;
+
+    std::uint32_t resumeBundle = 0;  ///< bundle index after backedge
+    std::uint64_t bundlesPerIter = 0;
+    std::uint64_t opsPerIter = 0;    ///< fetch-size sum per iteration
+    std::uint64_t sensitivePerIter = 0; ///< SLOT-mode sensitive ops
+};
+
+struct LoopCtx;
+
+/**
+ * Counted loops engage replay only with at least this many iterations
+ * left. A trace is a second copy of the body's micro-ops, cold on
+ * every engagement after the recording iteration warmed the decoded
+ * image; very short activations (unrolled 2–3-trip kernels) pay that
+ * cold walk without enough iterations to amortize it and replay
+ * slower than the general path. While loops cannot know their trip
+ * count and always engage. Tuned on the registry sweep: mpg123's
+ * 2-trip synthesis windows regress ~2.5x ungated, the 5–7-trip
+ * mpeg2/jpeg kernels still win gated at 4.
+ */
+constexpr std::int64_t kMinCountedReplayIters = 4;
+
+/** Per-sim-instance trace store, keyed by interned dense loop id. */
+class TraceCache
+{
+  public:
+    TraceCache(std::size_t numLoops, bool slotMode);
+
+    /**
+     * The trace for @p ctx's loop, building it on first use. The
+     * caller checks the returned state: Ready replays, Untraceable
+     * falls back (countBailout once per activation).
+     */
+    LoopTrace &acquire(const LoopCtx &ctx, const DecodedFunction &df);
+
+    /**
+     * Mark @p loopId's built trace Stale because the loop buffer
+     * evicted its image. Untraceable verdicts are static and survive
+     * (a rebuild would re-derive them).
+     */
+    void invalidate(int loopId);
+
+    /** Counter reset at run() start; built traces stay valid. */
+    void resetRunStats();
+
+    const TraceCacheStats &stats() const { return stats_; }
+    TraceCacheStats &stats() { return stats_; }
+
+    bool slotMode() const { return slotMode_; }
+
+  private:
+    void build(LoopTrace &tr, const LoopCtx &ctx,
+               const DecodedFunction &df);
+
+    std::vector<LoopTrace> traces_;
+    TraceCacheStats stats_;
+    bool slotMode_;
+};
+
+} // namespace lbp
+
+#endif // LBP_SIM_TRACE_CACHE_HH

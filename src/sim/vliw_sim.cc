@@ -1,10 +1,12 @@
 #include "sim/vliw_sim.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "ir/interpreter.hh"
 #include "obs/trace.hh"
 #include "sim/decoded.hh"
+#include "sim/trace_cache.hh"
 #include "support/logging.hh"
 
 namespace lbp
@@ -12,6 +14,23 @@ namespace lbp
 
 namespace
 {
+
+/** Resolve the three-state trace-cache config against the env. */
+bool
+traceCacheEnabled(const SimConfig &cfg)
+{
+    switch (cfg.traceCache) {
+      case TraceCacheMode::On:
+        return true;
+      case TraceCacheMode::Off:
+        return false;
+      case TraceCacheMode::Auto: {
+        const char *e = std::getenv("LBP_SIM_NO_TRACE_CACHE");
+        return !(e && *e);
+      }
+    }
+    return true;
+}
 
 std::int64_t
 sat16(std::int64_t v)
@@ -38,17 +57,42 @@ asBits(double d)
 } // namespace
 
 VliwSim::VliwSim(const SchedProgram &code, const SimConfig &cfg)
+    : VliwSim(code, cfg, nullptr)
+{
+}
+
+VliwSim::VliwSim(const SchedProgram &code, const SimConfig &cfg,
+                 const DecodedImage *image)
     : code_(code), cfg_(cfg), buffer_(cfg.bufferOps)
 {
     LBP_ASSERT(code_.ir != nullptr, "SchedProgram without IR link");
-    loopTable_ = std::make_unique<LoopTable>(buildLoopTable(code_));
-    if (cfg_.engine == SimEngine::DECODED)
-        decoded_ = std::make_unique<DecodedProgram>(
-            decodeProgram(code_, *loopTable_));
+    if (image) {
+        loopTable_ = &image->loops;
+        decoded_ = &image->program;
+    } else {
+        ownedLoopTable_ =
+            std::make_unique<LoopTable>(buildLoopTable(code_));
+        loopTable_ = ownedLoopTable_.get();
+        if (cfg_.engine == SimEngine::DECODED) {
+            ownedDecoded_ = std::make_unique<DecodedProgram>(
+                decodeProgram(code_, *loopTable_));
+            decoded_ = ownedDecoded_.get();
+        }
+    }
+    if (cfg_.engine == SimEngine::DECODED && traceCacheEnabled(cfg_))
+        traceCache_ = std::make_unique<TraceCache>(
+            loopTable_->keys.size(),
+            cfg_.predMode == PredMode::SLOT);
     slotPred_.fill(1);
 }
 
 VliwSim::~VliwSim() = default;
+
+const TraceCacheStats *
+VliwSim::traceCacheStats() const
+{
+    return traceCache_ ? &traceCache_->stats() : nullptr;
+}
 
 std::int64_t
 VliwSim::readOperand(const Frame &fr, const Operand &o) const
@@ -91,6 +135,8 @@ VliwSim::run(const std::vector<std::int64_t> &args)
     bundlesExecuted_ = 0;
     callDepth_ = 0;
     buffer_.clear();
+    if (traceCache_)
+        traceCache_->resetRunStats();
     slotPred_.fill(1);
 
     auto rets = cfg_.engine == SimEngine::DECODED

@@ -32,6 +32,7 @@
 
 #include "sched/schedule.hh"
 #include "sim/loop_buffer.hh"
+#include "support/arena.hh"
 
 namespace lbp
 {
@@ -133,6 +134,22 @@ struct SimStats
     }
 };
 
+/**
+ * Resident-loop trace cache control (decoded engine only).
+ *
+ * Auto — the default — enables the cache unless the
+ * LBP_SIM_NO_TRACE_CACHE environment variable is set non-empty (the
+ * scripts/check.sh hook for exercising the general path under
+ * sanitizers). On/Off force it regardless of the environment, which
+ * the differential tests use to pin both paths.
+ */
+enum class TraceCacheMode
+{
+    Auto,
+    On,
+    Off,
+};
+
 /** Simulator configuration. */
 struct SimConfig
 {
@@ -154,6 +171,9 @@ struct SimConfig
      */
     SimEngine engine = SimEngine::DECODED;
 
+    /** Resident-loop trace cache (see TraceCacheMode). */
+    TraceCacheMode traceCache = TraceCacheMode::Auto;
+
     /**
      * Cycle-level event tracing (obs/trace.hh). Null — the default —
      * costs one predicted branch per emission site; both engines
@@ -164,19 +184,82 @@ struct SimConfig
 };
 
 struct DecodedProgram;
+struct DecodedFunction;
+struct DecodedImage;
 struct LoopTable;
+class TraceCache;
+struct TraceCacheStats;
+
+/**
+ * One live hardware-loop activation. Namespace-scope (not nested in
+ * VliwSim) because the trace-cache replay loop operates on it too.
+ */
+struct LoopCtx
+{
+    LoopKey key;
+    int loopId = -1;          ///< dense id into SimStats.loops
+    bool counted = false;
+    std::int64_t remaining = 0;
+    BlockId head = kNoBlock;
+    bool buffered = false;    ///< image has a buffer address
+    bool fromBuffer = false;  ///< current fetches hit the buffer
+    bool pipelined = false;
+    int bodyLen = 0;          ///< schedule length L
+    int ii = 0;
+    std::uint64_t iterations = 0;
+    // Resume point for EXEC-entered loops.
+    bool isExec = false;
+    BlockId resumeBlock = kNoBlock;
+    size_t resumeBundle = 0;
+    /**
+     * Trace cache already declined this activation (untraceable
+     * body); dedupes the per-activation bailout counter.
+     */
+    bool traceDeclined = false;
+};
+
+/** How one trace-cache replay engagement ended. */
+enum class ReplayOutcome : std::uint8_t
+{
+    NotEngaged,  ///< untraceable body: general path runs the loop
+    CountedDone, ///< counted exit — predicted, falls through free
+    WloopExit,   ///< while exit from the buffer — mispredicted
+};
+
+struct ReplayResult
+{
+    ReplayOutcome outcome = ReplayOutcome::NotEngaged;
+    std::uint32_t resumeBundle = 0;  ///< head bundle after backedge
+};
 
 /** The simulator. */
 class VliwSim
 {
   public:
     VliwSim(const SchedProgram &code, const SimConfig &cfg);
+
+    /**
+     * Run over a pre-built shared decode of the same program: @p image
+     * must outlive the sim and stay in sync with @p code's buffer
+     * allocation (rebindBufferAddresses after reallocateBuffers). The
+     * batched bench sweep uses this to decode once per compile and
+     * share the read-only image across a buffer-size sweep.
+     */
+    VliwSim(const SchedProgram &code, const SimConfig &cfg,
+            const DecodedImage *image);
+
     ~VliwSim();
 
     /** Run the program's entry function; memory is re-imaged. */
     SimStats run(const std::vector<std::int64_t> &args = {});
 
     const LoopBuffer &buffer() const { return buffer_; }
+
+    /**
+     * Trace-cache side counters for the last run; null when the cache
+     * is disabled (config, env override, or REFERENCE engine).
+     */
+    const TraceCacheStats *traceCacheStats() const;
 
   private:
     struct Frame
@@ -185,25 +268,6 @@ class VliwSim
         const SchedFunction *sf = nullptr;
         std::vector<std::int64_t> regs;
         std::vector<std::uint8_t> preds;
-    };
-
-    struct LoopCtx
-    {
-        LoopKey key;
-        int loopId = -1;          ///< dense id into SimStats.loops
-        bool counted = false;
-        std::int64_t remaining = 0;
-        BlockId head = kNoBlock;
-        bool buffered = false;    ///< image has a buffer address
-        bool fromBuffer = false;  ///< current fetches hit the buffer
-        bool pipelined = false;
-        int bodyLen = 0;          ///< schedule length L
-        int ii = 0;
-        std::uint64_t iterations = 0;
-        // Resume point for EXEC-entered loops.
-        bool isExec = false;
-        BlockId resumeBlock = kNoBlock;
-        size_t resumeBundle = 0;
     };
 
     std::vector<std::int64_t> callFunction(FuncId f,
@@ -225,6 +289,17 @@ class VliwSim
     std::vector<std::int64_t> callFunctionDecodedImpl(
         FuncId f, const std::vector<std::int64_t> &args);
 
+    /**
+     * Replay the resident loop on top of the loop stack from its
+     * cached trace (trace_cache.cc). Called from the untraced decoded
+     * body at the loop-head bundle-0 boundary; NotEngaged means the
+     * body is untraceable and the general path must run it.
+     */
+    ReplayResult replayResident(LoopCtx &ctx,
+                                const DecodedFunction &df,
+                                std::int64_t *regs,
+                                std::uint8_t *preds);
+
     std::int64_t readOperand(const Frame &fr, const Operand &o) const;
     bool opExecutes(const Frame &fr, const Operation &op,
                     int slot) const;
@@ -238,10 +313,20 @@ class VliwSim
     int callDepth_ = 0;
 
     /** Static loop-id interning shared by both engines. */
-    std::unique_ptr<LoopTable> loopTable_;
+    const LoopTable *loopTable_ = nullptr;
 
     /** Predecoded image (built when cfg.engine == DECODED). */
-    std::unique_ptr<DecodedProgram> decoded_;
+    const DecodedProgram *decoded_ = nullptr;
+
+    /** Backing storage when the image is not caller-shared. */
+    std::unique_ptr<LoopTable> ownedLoopTable_;
+    std::unique_ptr<DecodedProgram> ownedDecoded_;
+
+    /** Resident-loop trace cache (null = disabled). */
+    std::unique_ptr<TraceCache> traceCache_;
+
+    /** Per-call frame storage for the decoded engine. */
+    FrameArena arena_;
 
     /** Slot standing predicates (physical machine state). */
     std::array<std::uint8_t, Machine::width> slotPred_;

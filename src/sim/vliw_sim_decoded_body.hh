@@ -34,6 +34,8 @@
 
 #include "obs/trace.hh"
 #include "sim/decoded.hh"
+#include "sim/dispatch.hh"
+#include "sim/trace_cache.hh"
 #include "sim/vliw_sim.hh"
 #include "support/logging.hh"
 
@@ -89,10 +91,12 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
     LBP_ASSERT(args.size() == df.params.size(),
                "arg count mismatch calling ", df.fn->name);
 
-    std::vector<std::int64_t> regsVec(df.numRegs, 0);
-    std::vector<std::uint8_t> predsVec(df.numPreds, 0);
-    std::int64_t *const regs = regsVec.data();
-    std::uint8_t *const preds = predsVec.data();
+    // Per-call register and predicate files come from the frame arena
+    // (two pointer bumps instead of two heap allocations); the chunked
+    // arena keeps them address-stable across recursive calls.
+    FrameArena::Scope frame(arena_);
+    std::int64_t *const regs = frame.allocI64(df.numRegs);
+    std::uint8_t *const preds = frame.allocU8(df.numPreds);
     for (size_t i = 0; i < args.size(); ++i)
         regs[df.params[i]] = args[i];
 
@@ -146,11 +150,52 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
                        ctx.fromBuffer ? 1 : 0);
     };
 
+    LBP_DISPATCH_TABLE();
+
     while (true) {
         LBP_ASSERT(curBlk != kNoBlock && curBlk < df.blocks.size(),
                    "sim fell off CFG in ", df.fn->name);
         const DecodedBlock &db = df.blocks[curBlk];
         LBP_ASSERT(db.valid, "sim in dead or unscheduled block");
+
+        // Trace-cache engagement: arriving at the head bundle of the
+        // innermost loop while it issues from the buffer is the replay
+        // condition. Untraced instantiation only — replay emits no
+        // events, and gating it to Traced=false keeps the traced event
+        // stream byte-identical by construction. A NotEngaged result
+        // (untraceable body) falls through to the general path.
+        if constexpr (!Traced) {
+            if (traceCache_ && curBu == 0 && !loopStack.empty()) {
+                LoopCtx &top = loopStack.back();
+                if (top.head == curBlk && top.fromBuffer &&
+                    (!top.counted ||
+                     top.remaining >= kMinCountedReplayIters)) {
+                    const ReplayResult rr =
+                        replayResident(top, df, regs, preds);
+                    if (rr.outcome != ReplayOutcome::NotEngaged) {
+                        LoopCtx done = loopStack.back();
+                        loopStack.pop_back();
+                        if (rr.outcome == ReplayOutcome::WloopExit) {
+                            // While exits from the buffer are
+                            // mispredicted (the buffer keeps
+                            // replaying), exactly as on the general
+                            // path.
+                            stats_.branchPenaltyCycles +=
+                                cfg_.branchPenalty;
+                            stats_.cycles += cfg_.branchPenalty;
+                        }
+                        retireLoop(done);
+                        if (done.isExec) {
+                            curBlk = done.resumeBlock;
+                            curBu = done.resumeBundle;
+                        } else {
+                            curBu = rr.resumeBundle;
+                        }
+                        continue;
+                    }
+                }
+            }
+        }
 
         if (curBu >= db.bundleCount) {
             LBP_ASSERT(db.fallthrough != kNoBlock,
@@ -238,8 +283,8 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
                 continue;
             }
 
-            switch (m->op) {
-              case Opcode::PRED_DEF: {
+            LBP_DISPATCH(m->handler) {
+              LBP_HANDLER(PRED_DEF) {
                 // The guard is an input to the define (Table 2).
                 bool g;
                 if (slotMode && m->sensitive) {
@@ -282,12 +327,10 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
                 };
                 apply(m->k0, m->pdKind0, m->pdIdx0);
                 apply(m->k1, m->pdKind1, m->pdIdx1);
-                break;
+                LBP_NEXT_OP;
               }
 
-              case Opcode::LD_B:
-              case Opcode::LD_H:
-              case Opcode::LD_W: {
+              LBP_HANDLER(LOAD) {
                 const std::int64_t addr =
                     readSrc(m->src[0]) + readSrc(m->src[1]);
                 const size_t need = m->op == Opcode::LD_B ? 1
@@ -313,45 +356,46 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
                             : static_cast<std::int32_t>(raw);
                 }
                 regW[nRegW++] = {m->dstReg, v};
-                break;
+                LBP_NEXT_OP;
               }
 
-              case Opcode::ST_B:
-              case Opcode::ST_H:
-              case Opcode::ST_W: {
+              LBP_HANDLER(STORE) {
                 const std::int64_t addr =
                     readSrc(m->src[0]) + readSrc(m->src[1]);
                 memW[nMemW++] = {m->op, addr, readSrc(m->src[2])};
-                break;
+                LBP_NEXT_OP;
               }
 
-              case Opcode::MOV:
+              LBP_HANDLER(MOV) {
                 regW[nRegW++] = {m->dstReg, readSrc(m->src[0])};
-                break;
-              case Opcode::ABS:
+                LBP_NEXT_OP;
+              }
+              LBP_HANDLER(ABS) {
                 regW[nRegW++] = {m->dstReg,
                                  std::abs(readSrc(m->src[0]))};
-                break;
-              case Opcode::ITOF:
+                LBP_NEXT_OP;
+              }
+              LBP_HANDLER(ITOF) {
                 regW[nRegW++] = {m->dstReg,
                                  asBits(static_cast<double>(
                                      readSrc(m->src[0])))};
-                break;
-              case Opcode::FTOI:
+                LBP_NEXT_OP;
+              }
+              LBP_HANDLER(FTOI) {
                 regW[nRegW++] = {m->dstReg,
                                  static_cast<std::int64_t>(
                                      asDouble(readSrc(m->src[0])))};
-                break;
-              case Opcode::SELECT: {
+                LBP_NEXT_OP;
+              }
+              LBP_HANDLER(SELECT) {
                 const std::int64_t c = readSrc(m->src[0]);
                 regW[nRegW++] = {m->dstReg,
                                  c ? readSrc(m->src[1])
                                    : readSrc(m->src[2])};
-                break;
+                LBP_NEXT_OP;
               }
 
-              case Opcode::BR:
-              case Opcode::BR_WLOOP: {
+              LBP_HANDLER(BR) {
                 ++stats_.branches;
                 const std::int64_t a = readSrc(m->src[0]);
                 const std::int64_t b = readSrc(m->src[1]);
@@ -403,18 +447,19 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
                                      ctx.resumeBundle, true);
                     }
                 }
-                break;
+                LBP_NEXT_OP;
               }
 
-              case Opcode::JUMP:
+              LBP_HANDLER(JUMP) {
                 ++stats_.branches;
                 ++stats_.branchesTaken;
                 DECODED_TRACE_EMIT(ts, obs::TraceKind::Branch,
                                stats_.cycles, -1, 1, 0);
                 takeRedirect(m->target, 0, false);
-                break;
+                LBP_NEXT_OP;
+              }
 
-              case Opcode::BR_CLOOP: {
+              LBP_HANDLER(BR_CLOOP) {
                 ++stats_.branches;
                 LBP_ASSERT(!loopStack.empty() &&
                                loopStack.back().counted,
@@ -449,13 +494,10 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
                                      done.resumeBundle, true);
                     }
                 }
-                break;
+                LBP_NEXT_OP;
               }
 
-              case Opcode::REC_CLOOP:
-              case Opcode::REC_WLOOP:
-              case Opcode::EXEC_CLOOP:
-              case Opcode::EXEC_WLOOP: {
+              LBP_HANDLER(LOOP) {
                 LoopCtx ctx;
                 ctx.key = loopTable_->keys[m->loopId];
                 ctx.loopId = m->loopId;
@@ -481,8 +523,12 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
                         buffer_.record(ctx.key, m->bufAddr,
                                        m->imageOps, &evictedKeys);
                         for (const LoopKey &ek : evictedKeys) {
-                            ++stats_.loops[loopTable_->idOf(ek)]
-                                  .evictions;
+                            const int eid = loopTable_->idOf(ek);
+                            ++stats_.loops[eid].evictions;
+                            // A replay trace cannot outlive the
+                            // buffer image it models.
+                            if (traceCache_)
+                                traceCache_->invalidate(eid);
                         }
                         ++ls.recordings;
                         ctx.fromBuffer = false;
@@ -508,19 +554,21 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
                     takeRedirect(m->target, 0, ctx.fromBuffer);
                 }
                 loopStack.push_back(ctx);
-                break;
+                LBP_NEXT_OP;
               }
 
-              case Opcode::CALL:
+              LBP_HANDLER(CALL) {
                 LBP_ASSERT(!callOp, "two calls in one bundle");
                 callOp = m;
-                break;
+                LBP_NEXT_OP;
+              }
 
-              case Opcode::RET:
+              LBP_HANDLER(RET) {
                 retOp = m;
-                break;
+                LBP_NEXT_OP;
+              }
 
-              default: {
+              LBP_HANDLER(ALU) {
                 // Binary ALU family.
                 const std::int64_t a = readSrc(m->src[0]);
                 const std::int64_t b = readSrc(m->src[1]);
@@ -570,9 +618,11 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
                               opcodeName(m->op));
                 }
                 regW[nRegW++] = {m->dstReg, v};
-                break;
+                LBP_NEXT_OP;
               }
+              LBP_BAD_HANDLER();
             }
+            LBP_DISPATCH_END;
         }
 
         // ---- Phase 2: commit ----

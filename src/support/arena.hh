@@ -1,0 +1,127 @@
+/**
+ * @file
+ * FrameArena: a chunked stack allocator for per-call simulator frames.
+ *
+ * The decoded executor allocates a register file and a predicate file
+ * per function invocation; on call-heavy workloads those two heap
+ * allocations per call dominate the prologue. The arena replaces them
+ * with pointer bumps in geometrically-growing chunks, released in LIFO
+ * order by an RAII scope at function return.
+ *
+ * Chunk addresses are stable for the lifetime of the arena: a nested
+ * call that grows the arena never moves the caller's live frame, which
+ * the executor relies on by holding raw pointers across recursive
+ * calls. (This is why the arena is NOT a single growing vector.)
+ */
+
+#ifndef LBP_SUPPORT_ARENA_HH
+#define LBP_SUPPORT_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace lbp
+{
+
+class FrameArena
+{
+  public:
+    struct Mark
+    {
+        std::size_t chunk = 0;
+        std::size_t used = 0;
+    };
+
+    /** RAII frame: releases everything allocated since construction. */
+    class Scope
+    {
+      public:
+        explicit Scope(FrameArena &a) : arena_(a), mark_(a.mark()) {}
+        ~Scope() { arena_.release(mark_); }
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+        std::int64_t *allocI64(std::size_t n)
+        {
+            return static_cast<std::int64_t *>(
+                arena_.allocZeroed(n * sizeof(std::int64_t)));
+        }
+        std::uint8_t *allocU8(std::size_t n)
+        {
+            return static_cast<std::uint8_t *>(
+                arena_.allocZeroed(n * sizeof(std::uint8_t)));
+        }
+
+      private:
+        FrameArena &arena_;
+        Mark mark_;
+    };
+
+    Mark mark() const { return {cur_, curUsed_()}; }
+
+    void release(const Mark &m)
+    {
+        for (std::size_t c = m.chunk + 1;
+             c < chunks_.size() && c <= cur_; ++c)
+            chunks_[c].used = 0;
+        cur_ = m.chunk;
+        if (cur_ < chunks_.size())
+            chunks_[cur_].used = m.used;
+    }
+
+    /** 8-byte-aligned zeroed block; stable until released. */
+    void *allocZeroed(std::size_t bytes)
+    {
+        bytes = (bytes + 7u) & ~std::size_t{7};
+        if (bytes == 0)
+            bytes = 8;
+        while (cur_ < chunks_.size() &&
+               chunks_[cur_].used + bytes > chunks_[cur_].size) {
+            ++cur_;
+            if (cur_ < chunks_.size())
+                chunks_[cur_].used = 0;
+        }
+        if (cur_ >= chunks_.size()) {
+            std::size_t sz = chunks_.empty()
+                                 ? kMinChunk
+                                 : chunks_.back().size * 2;
+            if (sz < bytes)
+                sz = bytes;
+            Chunk c;
+            c.data = std::make_unique<std::byte[]>(sz);
+            c.size = sz;
+            chunks_.push_back(std::move(c));
+            cur_ = chunks_.size() - 1;
+        }
+        Chunk &c = chunks_[cur_];
+        void *p = c.data.get() + c.used;
+        c.used += bytes;
+        std::memset(p, 0, bytes);
+        return p;
+    }
+
+  private:
+    static constexpr std::size_t kMinChunk = 16 * 1024;
+
+    struct Chunk
+    {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size = 0;
+        std::size_t used = 0;
+    };
+
+    std::size_t curUsed_() const
+    {
+        return cur_ < chunks_.size() ? chunks_[cur_].used : 0;
+    }
+
+    std::vector<Chunk> chunks_;
+    std::size_t cur_ = 0;
+};
+
+} // namespace lbp
+
+#endif // LBP_SUPPORT_ARENA_HH

@@ -88,8 +88,15 @@ TEST_P(EngineDifferential, DecodedMatchesReference)
                 sc.predMode = mode;
                 sc.engine = SimEngine::REFERENCE;
                 const SimStats ref = VliwSim(cr.code, sc).run();
+                // Decoded engine twice: trace cache force-enabled
+                // and force-disabled, so both the replay path and
+                // the general path are pinned to the reference
+                // regardless of the LBP_SIM_NO_TRACE_CACHE default.
                 sc.engine = SimEngine::DECODED;
+                sc.traceCache = TraceCacheMode::On;
                 const SimStats dec = VliwSim(cr.code, sc).run();
+                sc.traceCache = TraceCacheMode::Off;
+                const SimStats decOff = VliwSim(cr.code, sc).run();
                 EXPECT_EQ(ref.checksum, cr.goldenChecksum);
                 expectLoopAttributionExact(
                     ref, GetParam() + " reference engine size=" +
@@ -97,14 +104,15 @@ TEST_P(EngineDifferential, DecodedMatchesReference)
                 expectLoopAttributionExact(
                     dec, GetParam() + " decoded engine size=" +
                              std::to_string(size));
-                expectIdentical(
-                    ref, dec,
+                const std::string what =
                     GetParam() + " level=" +
-                        (lvl == OptLevel::Aggressive ? "aggr"
-                                                     : "trad") +
-                        " mode=" +
-                        (mode == PredMode::SLOT ? "slot" : "reg") +
-                        " size=" + std::to_string(size));
+                    (lvl == OptLevel::Aggressive ? "aggr"
+                                                 : "trad") +
+                    " mode=" +
+                    (mode == PredMode::SLOT ? "slot" : "reg") +
+                    " size=" + std::to_string(size);
+                expectIdentical(ref, dec, what + " cache=on");
+                expectIdentical(ref, decOff, what + " cache=off");
             }
         }
     }

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Resident-loop trace cache tests: traces are built exactly once at
+ * first replayed residency and persist across runs, untraceable
+ * bodies bail out to the general path (once per activation), buffer
+ * evictions invalidate without triggering rebuild storms, and —
+ * the contract everything else rests on — SimStats is bit-identical
+ * with the cache forced on, forced off, and against the reference
+ * interpreter, down to the per-loop counter vectors.
+ *
+ * Workload anchors (deterministic): adpcm_enc is the clean case (one
+ * hot traceable loop, no evictions); g724_dec is the adversarial one
+ * (bailouts, evictions, and replays in the same run).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/compiler.hh"
+#include "ir/builder.hh"
+#include "obs/publish.hh"
+#include "sim/trace_cache.hh"
+#include "sim/vliw_sim.hh"
+#include "workloads/registry.hh"
+
+namespace lbp
+{
+namespace
+{
+
+auto R = [](RegId r) { return Operand::reg(r); };
+auto I = [](std::int64_t v) { return Operand::imm(v); };
+
+/** Straight counted loop: traceable body, one hot activation. */
+Program
+countedLoopProgram(int trip)
+{
+    Program prog;
+    const auto data = prog.allocData(64);
+    prog.checksumBase = data;
+    prog.checksumSize = 8;
+    const FuncId f = prog.newFunction("main");
+    prog.entryFunc = f;
+    IRBuilder b(prog, f);
+    const RegId dp = b.iconst(data);
+    const RegId acc = b.iconst(0);
+    b.forLoop(0, trip, 1, [&](RegId i) {
+        b.addTo(acc, R(acc), R(i));
+        for (int p = 0; p < 4; ++p)
+            b.binTo(Opcode::XOR, acc, R(acc), I(p * 3 + 1));
+    });
+    b.storeW(R(dp), I(0), R(acc));
+    b.ret({R(acc)});
+    return prog;
+}
+
+SimConfig
+simConfig(int bufferOps, SimEngine engine, TraceCacheMode cacheMode)
+{
+    SimConfig sc;
+    sc.bufferOps = bufferOps;
+    sc.engine = engine;
+    sc.traceCache = cacheMode;
+    return sc;
+}
+
+const TraceCacheStats &
+statsOf(const VliwSim &sim)
+{
+    const TraceCacheStats *tc = sim.traceCacheStats();
+    EXPECT_NE(tc, nullptr);
+    return *tc;
+}
+
+TEST(TraceCache, SyntheticLoopReplaysEveryBufferedIteration)
+{
+    Program prog = countedLoopProgram(100);
+    CompileOptions opts;
+    opts.level = OptLevel::Traditional;
+    opts.bufferOps = 256;
+    CompileResult cr;
+    compileProgram(prog, opts, cr);
+
+    SimConfig sc;
+    sc.bufferOps = 256;
+    sc.traceCache = TraceCacheMode::On;
+    VliwSim sim(cr.code, sc);
+    const SimStats st = sim.run();
+    EXPECT_EQ(st.checksum, cr.goldenChecksum);
+
+    // One recording iteration from memory; replay engages at the
+    // first buffered iteration and carries the remaining 99.
+    const TraceCacheStats &tc = statsOf(sim);
+    EXPECT_EQ(tc.builds, 1u);
+    EXPECT_EQ(tc.replays, 1u);
+    EXPECT_EQ(tc.bailouts, 0u);
+    EXPECT_EQ(tc.replayedIterations, 99u);
+
+    // Everything the loop issued from the buffer went through the
+    // trace, and the per-loop split integrates back to the total.
+    ASSERT_EQ(st.activeLoops().size(), 1u);
+    const LoopStats &ls = *st.activeLoops().front();
+    ASSERT_LT(static_cast<std::size_t>(0), tc.perLoop.size());
+    EXPECT_EQ(tc.replayedOps, ls.opsFromBuffer);
+    std::uint64_t perLoopOps = 0;
+    for (const auto &pl : tc.perLoop)
+        perLoopOps += pl.ops;
+    EXPECT_EQ(perLoopOps, tc.replayedOps);
+}
+
+TEST(TraceCache, BuildsOnFirstResidencyAndPersistsAcrossRuns)
+{
+    Program prog = workloads::buildWorkload("adpcm_enc");
+    CompileOptions opts;
+    opts.level = OptLevel::Aggressive;
+    opts.bufferOps = 256;
+    CompileResult cr;
+    compileProgram(prog, opts, cr);
+
+    SimConfig sc;
+    sc.bufferOps = 256;
+    sc.traceCache = TraceCacheMode::On;
+    VliwSim sim(cr.code, sc);
+
+    sim.run();
+    const TraceCacheStats &first = statsOf(sim);
+    EXPECT_GE(first.builds, 1u);
+    EXPECT_GE(first.replays, 1u);
+    EXPECT_GT(first.replayedOps, 0u);
+
+    // Second run on the same instance: counters reset, but the built
+    // traces survive — replay re-engages with zero rebuilds.
+    sim.run();
+    const TraceCacheStats &second = statsOf(sim);
+    EXPECT_EQ(second.builds, 0u);
+    EXPECT_GE(second.replays, first.replays);
+    EXPECT_EQ(second.replayedOps, first.replayedOps);
+}
+
+TEST(TraceCache, UntraceableResidentBodyBailsOutPerActivation)
+{
+    Program prog = workloads::buildWorkload("g724_dec");
+    CompileOptions opts;
+    opts.level = OptLevel::Aggressive;
+    opts.bufferOps = 256;
+    CompileResult cr;
+    compileProgram(prog, opts, cr);
+
+    VliwSim sim(cr.code, simConfig(256, SimEngine::DECODED,
+                                   TraceCacheMode::On));
+    const SimStats st = sim.run();
+    const TraceCacheStats &tc = statsOf(sim);
+    EXPECT_GT(tc.bailouts, 0u);
+
+    // A bailout is counted at most once per activation (the declined
+    // flag dedupes the per-iteration residency checks).
+    std::uint64_t activations = 0;
+    for (const auto &ls : st.loops)
+        activations += ls.activations;
+    EXPECT_LE(tc.bailouts, activations);
+}
+
+TEST(TraceCache, EvictionInvalidatesWithoutRebuildStorm)
+{
+    Program prog = workloads::buildWorkload("g724_dec");
+    CompileOptions opts;
+    opts.level = OptLevel::Aggressive;
+    opts.bufferOps = 256;
+    CompileResult cr;
+    compileProgram(prog, opts, cr);
+
+    VliwSim sim(cr.code, simConfig(256, SimEngine::DECODED,
+                                   TraceCacheMode::On));
+    sim.run();
+    const TraceCacheStats &tc = statsOf(sim);
+    EXPECT_GT(tc.invalidations, 0u);
+    EXPECT_GT(tc.replays, 0u);
+
+    // Invalidation marks a trace Stale; revalidation at the next
+    // residency is O(1) because trace content is allocation-invariant.
+    // A full rebuild per eviction would show builds on the order of
+    // invalidations + replays; distinct traceable loops only is the
+    // correct order of magnitude.
+    EXPECT_LT(tc.builds, tc.invalidations);
+}
+
+TEST(TraceCache, StatsBitIdenticalOnOffAndReference)
+{
+    for (const char *name : {"adpcm_enc", "g724_dec", "mpg123"}) {
+        Program prog = workloads::buildWorkload(name);
+        CompileOptions opts;
+        opts.level = OptLevel::Aggressive;
+        opts.bufferOps = 256;
+        CompileResult cr;
+        compileProgram(prog, opts, cr);
+
+        const SimStats ref =
+            VliwSim(cr.code, simConfig(256, SimEngine::REFERENCE,
+                                       TraceCacheMode::Auto))
+                .run();
+        const SimStats on =
+            VliwSim(cr.code, simConfig(256, SimEngine::DECODED,
+                                       TraceCacheMode::On))
+                .run();
+        const SimStats off =
+            VliwSim(cr.code, simConfig(256, SimEngine::DECODED,
+                                       TraceCacheMode::Off))
+                .run();
+
+        const std::string dOn =
+            obs::diffSimStats(ref, on, "reference", "cache-on");
+        EXPECT_TRUE(dOn.empty()) << name << "\n" << dOn;
+        const std::string dOff =
+            obs::diffSimStats(ref, off, "reference", "cache-off");
+        EXPECT_TRUE(dOff.empty()) << name << "\n" << dOff;
+
+        // Per-loop counter vectors, element-wise through the
+        // full-field operator==.
+        ASSERT_EQ(ref.loops.size(), on.loops.size()) << name;
+        for (std::size_t i = 0; i < ref.loops.size(); ++i)
+            EXPECT_TRUE(ref.loops[i] == on.loops[i])
+                << name << " loop[" << i << "] ("
+                << ref.loops[i].name << ")";
+    }
+}
+
+TEST(TraceCache, PerLoopReplayNeverExceedsBufferedOps)
+{
+    for (const auto &w : workloads::allWorkloads()) {
+        Program prog = workloads::buildWorkload(w.name);
+        CompileOptions opts;
+        opts.level = OptLevel::Aggressive;
+        opts.bufferOps = 256;
+        CompileResult cr;
+        compileProgram(prog, opts, cr);
+
+        VliwSim sim(cr.code, simConfig(256, SimEngine::DECODED,
+                                       TraceCacheMode::On));
+        const SimStats st = sim.run();
+        const TraceCacheStats &tc = statsOf(sim);
+        ASSERT_EQ(tc.perLoop.size(), st.loops.size()) << w.name;
+        std::uint64_t perLoopOps = 0;
+        for (std::size_t i = 0; i < st.loops.size(); ++i) {
+            EXPECT_LE(tc.perLoop[i].ops, st.loops[i].opsFromBuffer)
+                << w.name << " loop " << st.loops[i].name;
+            perLoopOps += tc.perLoop[i].ops;
+        }
+        EXPECT_EQ(perLoopOps, tc.replayedOps) << w.name;
+        EXPECT_LE(tc.replayedOps, st.opsFromBuffer) << w.name;
+    }
+}
+
+TEST(TraceCache, DisabledModesPublishNoStats)
+{
+    Program prog = countedLoopProgram(50);
+    CompileOptions opts;
+    opts.level = OptLevel::Traditional;
+    opts.bufferOps = 256;
+    CompileResult cr;
+    compileProgram(prog, opts, cr);
+
+    SimConfig sc;
+    sc.bufferOps = 256;
+    sc.traceCache = TraceCacheMode::Off;
+    VliwSim off(cr.code, sc);
+    off.run();
+    EXPECT_EQ(off.traceCacheStats(), nullptr);
+
+    sc.traceCache = TraceCacheMode::Auto;
+    sc.engine = SimEngine::REFERENCE;
+    VliwSim refSim(cr.code, sc);
+    refSim.run();
+    EXPECT_EQ(refSim.traceCacheStats(), nullptr);
+}
+
+} // namespace
+} // namespace lbp

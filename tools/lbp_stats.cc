@@ -29,6 +29,10 @@
  *   --history=FILE                   jsonl store (BENCH_history.jsonl)
  *   --source=NAME                    override the record source tag
  *   --window=N --rel=X --abs=X --madk=K   gate thresholds (history.hh)
+ *   --sort=ops|gain|evictions        `loops` ranking key: total
+ *                                    dynamic ops (default), realized
+ *                                    buffer gain (ops issued from the
+ *                                    buffer), or eviction count
  *   --verbose                        `history check` prints every key
  *
  * `trace` cross-checks the trace against the registry before writing:
@@ -64,6 +68,7 @@
 #include "obs/trace.hh"
 #include "obs/version.hh"
 #include "power/fetch_energy.hh"
+#include "sim/trace_cache.hh"
 #include "sim/vliw_sim.hh"
 #include "workloads/registry.hh"
 
@@ -87,6 +92,7 @@ struct Options
     std::string historyPath = "BENCH_history.jsonl";
     std::string source;
     obs::CheckPolicy policy;
+    std::string sort = "ops";
     bool verbose = false;
 };
 
@@ -100,7 +106,7 @@ usage()
         << "       lbp_stats trace <workload> [--out=F] [--sample=N]\n"
         << "                 [--capacity=N] [--buffer=N] [--level=L]\n"
         << "       lbp_stats loops <workload> [--level=L] [--buffer=N]\n"
-        << "                 [--engine=E] [--json=F]\n"
+        << "                 [--engine=E] [--json=F] [--sort=S]\n"
         << "       lbp_stats history append <doc.json> [--history=F]\n"
         << "                 [--source=NAME]\n"
         << "       lbp_stats history list [--history=F]\n"
@@ -183,6 +189,14 @@ parseArgs(int argc, char **argv, Options &o)
             o.policy.absTol = std::atof(v13);
         } else if (const char *v14 = val("--madk")) {
             o.policy.madK = std::atof(v14);
+        } else if (const char *v15 = val("--sort")) {
+            o.sort = v15;
+            if (o.sort != "ops" && o.sort != "gain" &&
+                o.sort != "evictions") {
+                std::cerr << "unknown sort key '" << o.sort
+                          << "' (ops|gain|evictions)\n";
+                return false;
+            }
         } else if (arg == "--verbose") {
             o.verbose = true;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -195,11 +209,16 @@ parseArgs(int argc, char **argv, Options &o)
     return true;
 }
 
-/** Compile + simulate one workload, publishing everything into @p r. */
+/**
+ * Compile + simulate one workload, publishing everything into @p r.
+ * When the decoded engine ran with its trace cache, the side counters
+ * are published too and copied to @p tcOut (if given); @p tcOut is
+ * left untouched otherwise.
+ */
 SimStats
 runWorkload(const Options &o, const std::string &name,
             obs::Registry &r, obs::TraceSink *trace,
-            CompileResult &cr)
+            CompileResult &cr, TraceCacheStats *tcOut = nullptr)
 {
     Program prog = workloads::buildWorkload(name);
     CompileOptions copts;
@@ -229,6 +248,11 @@ runWorkload(const Options &o, const std::string &name,
     r.info("buffer_ops", std::to_string(o.bufferOps));
     publishCompileResult(r, cr);
     publishSimStats(r, stats);
+    if (const TraceCacheStats *tc = sim.traceCacheStats()) {
+        obs::publishTraceCacheStats(r, *tc);
+        if (tcOut)
+            *tcOut = *tc;
+    }
     publishFetchEnergy(r,
                        computeFetchEnergy(stats, o.bufferOps));
     return stats;
@@ -481,13 +505,30 @@ cmdLoops(const Options &o)
 
     obs::Registry reg;
     CompileResult cr;
-    const SimStats stats = runWorkload(o, name, reg, nullptr, cr);
+    TraceCacheStats tc;
+    const SimStats stats = runWorkload(o, name, reg, nullptr, cr,
+                                       &tc);
     const FetchEnergy fe = computeFetchEnergy(stats, o.bufferOps);
 
     // The join asserts the headline invariant internally: the sum of
     // per-loop buffer-issued ops equals sim.opsFromBuffer exactly.
-    const obs::LoopScorecard sc = obs::buildLoopScorecard(
-        name, cr.loopLog, stats, o.bufferOps, &fe);
+    obs::LoopScorecard sc = obs::buildLoopScorecard(
+        name, cr.loopLog, stats, o.bufferOps, &fe, &tc);
+
+    // Re-rank on request; the default build order is dynOps.
+    if (o.sort != "ops") {
+        const bool gain = o.sort == "gain";
+        std::stable_sort(
+            sc.rows.begin(), sc.rows.end(),
+            [gain](const obs::ScorecardRow &a,
+                   const obs::ScorecardRow &b) {
+                const std::uint64_t ka =
+                    gain ? a.opsFromBuffer : a.evictions;
+                const std::uint64_t kb =
+                    gain ? b.opsFromBuffer : b.evictions;
+                return ka > kb;
+            });
+    }
     obs::publishScorecard(reg, sc);
 
     obs::printScorecard(std::cout, sc);
@@ -587,10 +628,12 @@ cmdReport(const Options &o)
 
     obs::Registry reg;
     CompileResult cr;
-    const SimStats stats = runWorkload(o, name, reg, nullptr, cr);
+    TraceCacheStats tc;
+    const SimStats stats = runWorkload(o, name, reg, nullptr, cr,
+                                       &tc);
     const FetchEnergy fe = computeFetchEnergy(stats, o.bufferOps);
     const obs::LoopScorecard sc = obs::buildLoopScorecard(
-        name, cr.loopLog, stats, o.bufferOps, &fe);
+        name, cr.loopLog, stats, o.bufferOps, &fe, &tc);
 
     obs::ReportData data;
     data.workload = name;
