@@ -12,6 +12,7 @@
 
 #include "obs/history.hh"
 #include "obs/loop_report.hh"
+#include "obs/prof.hh"
 #include "obs/trace.hh"
 #include "obs/version.hh"
 #include "sim/decoded.hh"
@@ -73,7 +74,7 @@ compileBench(const std::string &name, OptLevel level, PredMode mode)
 
 SimStats
 simulate(CompileResult &cr, int bufferOps, PredMode mode,
-         SimEngine engine)
+         SimEngine engine, TraceCacheStats *tcOut)
 {
     reallocateBuffers(cr, bufferOps);
     SimConfig sc;
@@ -84,12 +85,15 @@ simulate(CompileResult &cr, int bufferOps, PredMode mode,
     SimStats st = sim.run();
     LBP_ASSERT(st.checksum == cr.goldenChecksum,
                "simulation checksum mismatch for ", cr.ir.name);
+    if (tcOut)
+        if (const TraceCacheStats *tc = sim.traceCacheStats())
+            accumulateTraceCacheStats(*tcOut, *tc);
     return st;
 }
 
 SimStats
 simulateShared(CompileResult &cr, DecodedImage &img, int bufferOps,
-               PredMode mode)
+               PredMode mode, TraceCacheStats *tcOut)
 {
     reallocateBuffers(cr, bufferOps);
     rebindBufferAddresses(img, cr.code);
@@ -101,6 +105,9 @@ simulateShared(CompileResult &cr, DecodedImage &img, int bufferOps,
     SimStats st = sim.run();
     LBP_ASSERT(st.checksum == cr.goldenChecksum,
                "simulation checksum mismatch for ", cr.ir.name);
+    if (tcOut)
+        if (const TraceCacheStats *tc = sim.traceCacheStats())
+            accumulateTraceCacheStats(*tcOut, *tc);
     return st;
 }
 
@@ -148,6 +155,7 @@ benchJsonDoc(const std::string &benchName)
     build.set("threaded_dispatch",
               Json::boolean(LBP_THREADED_DISPATCH != 0));
     build.set("trace_hooks", Json::boolean(LBP_TRACE != 0));
+    build.set("prof", Json::boolean(LBP_PROF != 0));
     doc.set("build", std::move(build));
     return doc;
 }
@@ -190,10 +198,13 @@ dumpLoopScorecard(const std::string &workload, OptLevel level,
                   int bufferOps)
 {
     CompileResult &cr = compileBench(workload, level);
-    const SimStats st = simulate(cr, bufferOps);
+    TraceCacheStats tc;
+    const SimStats st =
+        simulate(cr, bufferOps, PredMode::SLOT, SimEngine::DECODED,
+                 &tc);
     const FetchEnergy fe = computeFetchEnergy(st, bufferOps);
     const obs::LoopScorecard sc = obs::buildLoopScorecard(
-        workload, cr.loopLog, st, bufferOps, &fe);
+        workload, cr.loopLog, st, bufferOps, &fe, &tc);
     obs::printScorecard(std::cout, sc);
 }
 

@@ -15,6 +15,7 @@
 #include "core/metrics.hh"
 #include "obs/json.hh"
 #include "power/fetch_energy.hh"
+#include "sim/trace_cache.hh"
 #include "sim/vliw_sim.hh"
 #include "workloads/registry.hh"
 
@@ -42,10 +43,17 @@ const std::vector<int> &figureBufferSizes();
 CompileResult &compileBench(const std::string &name, OptLevel level,
                             PredMode mode = PredMode::SLOT);
 
-/** Simulate with a buffer size; checks the checksum. */
+/**
+ * Simulate with a buffer size; checks the checksum. When @p tcOut is
+ * given and the run had a trace cache, the run's TraceCacheStats are
+ * accumulated into it (accumulateTraceCacheStats — pass a freshly
+ * zeroed struct for a per-run copy, reuse one across a sweep for the
+ * aggregate); it is left untouched otherwise.
+ */
 SimStats simulate(CompileResult &cr, int bufferOps,
                   PredMode mode = PredMode::SLOT,
-                  SimEngine engine = SimEngine::DECODED);
+                  SimEngine engine = SimEngine::DECODED,
+                  TraceCacheStats *tcOut = nullptr);
 
 /**
  * Batched-sweep variant of simulate: run the decoded engine over a
@@ -53,10 +61,12 @@ SimStats simulate(CompileResult &cr, int bufferOps,
  * inside the VliwSim constructor. @p img must have been built from
  * @p cr.code (buildDecodedImage); this call reallocates the buffers
  * to @p bufferOps and rebinds the image's allocation-dependent
- * fields, so one decode serves a whole buffer-size sweep.
+ * fields, so one decode serves a whole buffer-size sweep. @p tcOut
+ * accumulates trace-cache counters as in simulate.
  */
 SimStats simulateShared(CompileResult &cr, DecodedImage &img,
-                        int bufferOps, PredMode mode = PredMode::SLOT);
+                        int bufferOps, PredMode mode = PredMode::SLOT,
+                        TraceCacheStats *tcOut = nullptr);
 
 /** The Table-1 benchmark names. */
 std::vector<std::string> benchNames();

@@ -19,14 +19,23 @@
  * the two passes, so the harness is also an end-to-end equivalence
  * check of the decoded engine.
  *
+ * The fast pass also aggregates the decoded engine's trace-cache
+ * counters across every sweep point into the JSON's "trace_cache"
+ * block: per-reason bailout counts and the replay-coverage fraction
+ * (replayed ops / all buffer-issued ops). These are deterministic
+ * functions of the sweep, so the history gate compares them exactly.
+ *
  * Usage: bench_sim_fastpath [--quick] [--json[=PATH]]
- *                           [--history[=PATH]] [--threads=N]
+ *                           [--history[=PATH]] [--threads=N] [--prof]
  *   --quick        3 workloads, 2 buffer sizes (smoke / ctest perf)
  *   --json[=P]     write machine-readable timings (default path
  *                  BENCH_sim_fastpath.json in the working directory)
  *   --history[=P]  also append the flattened document to the
  *                  BENCH_history.jsonl timeline (implies --json)
  *   --threads=N    thread-pool size (default: hardware concurrency)
+ *   --prof         sample the whole run with the lbp::obs::prof
+ *                  self-profiler and print the region split (host
+ *                  wall time only — never part of the JSON)
  */
 
 #include <chrono>
@@ -40,6 +49,7 @@
 
 #include "bench_common.hh"
 #include "obs/json.hh"
+#include "obs/prof.hh"
 #include "sim/decoded.hh"
 #include "support/logging.hh"
 #include "support/thread_pool.hh"
@@ -118,18 +128,30 @@ runReferencePoint(const SweepTask &t, SweepPoint &p)
  * therefore measures reallocation + rebind + simulation, which is the
  * steady state every figure bench sweep runs in.
  */
+/** Per-task sweep aggregates, merged after the pool drains. */
+struct TaskAgg
+{
+    TraceCacheStats tc;
+    std::uint64_t opsFromBuffer = 0;
+};
+
 void
 runFastTask(const SweepTask &t, std::vector<SweepPoint> &points,
-            int nSizes)
+            int nSizes, TaskAgg &agg)
 {
+    // Pool threads enter the profiler here: the marker registers the
+    // thread (arming its sampling timer when a --prof run is live)
+    // and tags time outside the deeper sim regions as harness work.
+    obs::prof::ScopedRegion profRegion(obs::prof::Region::Bench);
     CompileResult &cr = compileBench(t.workload, t.level, t.mode);
     DecodedImage img = buildDecodedImage(cr.code);
     for (int i = 0; i < nSizes; ++i) {
         SweepPoint &p = points[t.firstPoint + i];
         const auto t0 = Clock::now();
         const SimStats st =
-            simulateShared(cr, img, p.bufferOps, t.mode);
+            simulateShared(cr, img, p.bufferOps, t.mode, &agg.tc);
         p.fastMs = msSince(t0);
+        agg.opsFromBuffer += st.opsFromBuffer;
         LBP_ASSERT(st.cycles == p.cycles &&
                        st.checksum == p.checksum,
                    "decoded engine diverged from reference for ",
@@ -144,7 +166,8 @@ writeJson(const std::string &path, const std::string &historyPath,
           const std::vector<SweepTask> &tasks,
           const std::vector<SweepPoint> &points, double refWallMs,
           double fastWallMs, double refSimMs, double fastSimMs,
-          int threads, bool quick)
+          int threads, bool quick, const TraceCacheStats &tc,
+          std::uint64_t fastOpsFromBuffer)
 {
     using obs::Json;
 
@@ -185,6 +208,37 @@ writeJson(const std::string &path, const std::string &historyPath,
     simOnly.set("speedup", Json::number(refSimMs / fastSimMs));
     doc.set("simOnly", simOnly);
 
+    // Trace-cache aggregate over the whole fast pass. Every leaf is
+    // a deterministic function of the sweep (counters, not timings),
+    // so the history gate holds them exactly: a bailout count or the
+    // replay-coverage fraction moving is a behavior change, never
+    // noise.
+    Json tcj = Json::object();
+    tcj.set("builds", Json::uinteger(tc.builds));
+    tcj.set("replays", Json::uinteger(tc.replays));
+    tcj.set("bailouts", Json::uinteger(tc.bailouts));
+    tcj.set("invalidations", Json::uinteger(tc.invalidations));
+    tcj.set("replayed_iterations",
+            Json::uinteger(tc.replayedIterations));
+    tcj.set("replayed_ops", Json::uinteger(tc.replayedOps));
+    tcj.set("ops_from_buffer", Json::uinteger(fastOpsFromBuffer));
+    tcj.set("replay_coverage",
+            Json::number(fastOpsFromBuffer
+                             ? static_cast<double>(tc.replayedOps) /
+                                   static_cast<double>(
+                                       fastOpsFromBuffer)
+                             : 0.0));
+    Json bail = Json::object();
+    for (std::size_t i =
+             static_cast<std::size_t>(TraceBailoutReason::Unknown);
+         i < static_cast<std::size_t>(TraceBailoutReason::Count);
+         ++i)
+        bail.set(traceBailoutReasonName(
+                     static_cast<TraceBailoutReason>(i)),
+                 Json::uinteger(tc.bailoutsBy[i]));
+    tcj.set("bailout", bail);
+    doc.set("trace_cache", tcj);
+
     Json pts = Json::array();
     for (const SweepPoint &p : points) {
         const SweepTask &t = tasks[p.task];
@@ -213,6 +267,7 @@ main(int argc, char **argv)
 {
     bool quick = false;
     bool json = false;
+    bool prof = false;
     std::string jsonPath = "BENCH_sim_fastpath.json";
     std::string historyPath;
     int threads = 0;
@@ -231,13 +286,27 @@ main(int argc, char **argv)
             historyPath = arg.substr(10);
         } else if (arg.rfind("--threads=", 0) == 0) {
             threads = std::atoi(arg.c_str() + 10);
+        } else if (arg == "--prof") {
+            prof = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--quick] [--json[=PATH]] "
-                         "[--history[=PATH]] [--threads=N]\n",
+                         "[--history[=PATH]] [--threads=N] "
+                         "[--prof]\n",
                          argv[0]);
             return 2;
         }
+    }
+    if (prof && !obs::prof::compiledIn()) {
+        std::fprintf(stderr, "--prof: profiler compiled out "
+                             "(built with -DLBP_PROF=OFF)\n");
+        return 1;
+    }
+    if (prof &&
+        !obs::prof::Profiler::instance().start()) {
+        std::fprintf(stderr, "--prof: cannot arm the sampling "
+                             "timer on this system\n");
+        return 1;
     }
     // --history implies the JSON emission it snapshots.
     if (!historyPath.empty())
@@ -327,12 +396,20 @@ main(int argc, char **argv)
                 pool.threadCount());
     const auto fast0 = Clock::now();
     const int nSizes = static_cast<int>(sizes.size());
-    for (const auto &t : tasks)
-        pool.submit([&t, &points, nSizes] {
-            runFastTask(t, points, nSizes);
+    std::vector<TaskAgg> aggs(tasks.size());
+    for (std::size_t ti = 0; ti < tasks.size(); ++ti)
+        pool.submit([&tasks, &points, &aggs, ti, nSizes] {
+            runFastTask(tasks[ti], points, nSizes, aggs[ti]);
         });
     pool.wait();
     const double fastWallMs = msSince(fast0);
+
+    TraceCacheStats tcTotal;
+    std::uint64_t fastOpsFromBuffer = 0;
+    for (const TaskAgg &a : aggs) {
+        accumulateTraceCacheStats(tcTotal, a.tc);
+        fastOpsFromBuffer += a.opsFromBuffer;
+    }
 
     double fastSimMs = 0;
     for (const auto &p : points)
@@ -362,10 +439,37 @@ main(int argc, char **argv)
     std::printf("equivalence: all %zu points identical cycles and "
                 "checksums across engines\n",
                 points.size());
+    std::printf("trace cache: %llu replays, %llu bailouts, "
+                "replay coverage %.1f%% of buffer-issued ops\n",
+                static_cast<unsigned long long>(tcTotal.replays),
+                static_cast<unsigned long long>(tcTotal.bailouts),
+                fastOpsFromBuffer
+                    ? 100.0 *
+                          static_cast<double>(tcTotal.replayedOps) /
+                          static_cast<double>(fastOpsFromBuffer)
+                    : 0.0);
+
+    if (prof) {
+        obs::prof::Profiler &pr = obs::prof::Profiler::instance();
+        pr.stop();
+        const obs::prof::Snapshot snap = pr.snapshot();
+        std::printf("\nself-profile: %llu samples, %.1f%% attributed "
+                    "to named regions\n",
+                    static_cast<unsigned long long>(snap.samples),
+                    100.0 * snap.attributedFraction());
+        for (const auto &rc : snap.regions)
+            std::printf("  %-28s %8llu  %5.1f%%\n", rc.label.c_str(),
+                        static_cast<unsigned long long>(rc.count),
+                        snap.samples
+                            ? 100.0 * static_cast<double>(rc.count) /
+                                  static_cast<double>(snap.samples)
+                            : 0.0);
+    }
 
     if (json)
         writeJson(jsonPath, historyPath, names, sizes, tasks, points,
                   refWallMs, fastWallMs, refSimMs, fastSimMs,
-                  pool.threadCount(), quick);
+                  pool.threadCount(), quick, tcTotal,
+                  fastOpsFromBuffer);
     return 0;
 }

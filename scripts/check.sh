@@ -9,7 +9,11 @@
 # code sanitizers pay for — plus the engine differential under the
 # LBP_SIM_NO_TRACE_CACHE env override, so both the replay path and the
 # general decoded path run sanitized — then a TSan build of the same
-# surface (thread pool + concurrent registry updates). Finishes with the bench
+# surface (thread pool + concurrent registry updates, and the
+# self-profiler's signal-handler-vs-marker concurrency through
+# tests/test_obs_prof.cc, which rides the obs label in both sanitizer
+# builds; the live-sampling case is additionally run by name so a
+# filter change cannot silently drop it). Finishes with the bench
 # regression gate: re-runs the figure benches and diffs their JSON
 # against the checked-in BENCH_*.json baselines — counters exact,
 # timings and the machine block tolerated (lbp_stats diff policy).
@@ -41,9 +45,19 @@ LBP_SIM_NO_TRACE_CACHE=1 \
     "$BUILD"/tests/lbp_sim_tests \
     --gtest_filter='*EngineDifferential*' --gtest_brief=1
 
-# Bench smoke (the ctest `perf` label), quick sweep + JSON emission.
-"$BUILD"/bench/bench_sim_fastpath --quick \
+# Bench smoke (the ctest `perf` label), quick sweep + JSON emission,
+# sampled by the self-profiler (--prof also proves the profiler rides
+# along without perturbing the equivalence assertions).
+"$BUILD"/bench/bench_sim_fastpath --quick --prof \
     --json="$BUILD"/BENCH_sim_fastpath_smoke.json
+
+# Self-profiler smoke: region table, attribution line, collapsed
+# stacks. Exit 1 with a clear message is acceptable only on kernels
+# without per-thread CPU timers; the cli prof_smoke ctest case has
+# already enforced that contract above.
+"$BUILD"/tools/lbp_stats prof adpcm_dec \
+    --out="$BUILD"/adpcm_dec.folded >/dev/null
+test -s "$BUILD"/adpcm_dec.folded
 
 # Sanitizer pass: ASan + UBSan over the observability surface. Debug
 # (-O1) keeps stacks honest while staying fast enough for the smoke.
@@ -60,6 +74,11 @@ ctest --test-dir "$SAN_BUILD" --output-on-failure -L obs
 LBP_SIM_NO_TRACE_CACHE=1 \
     "$SAN_BUILD"/tests/lbp_sim_tests \
     --gtest_filter='*EngineDifferential*' --gtest_brief=1
+# Profiler under ASan, by name: live sampling with concurrent region
+# markers (the SIGPROF handler's single-writer discipline).
+"$SAN_BUILD"/tests/lbp_obs_tests \
+    --gtest_filter='ObsProf.ConcurrentThreadsSampleIndependently:ObsProf.SamplesAttributeToInnermostRegion' \
+    --gtest_brief=1
 "$SAN_BUILD"/tools/lbp_stats trace adpcm_dec \
     --out="$SAN_BUILD"/adpcm_dec.trace.json
 "$SAN_BUILD"/tools/lbp_stats run adpcm_dec \
@@ -78,6 +97,10 @@ cmake -B "$TSAN_BUILD" -S . \
 cmake --build "$TSAN_BUILD" -j "$(nproc)" \
     --target lbp_obs_tests lbp_stats
 ctest --test-dir "$TSAN_BUILD" --output-on-failure -L obs
+# Profiler under TSan, by name (same cases as the ASan leg).
+"$TSAN_BUILD"/tests/lbp_obs_tests \
+    --gtest_filter='ObsProf.ConcurrentThreadsSampleIndependently:ObsProf.SamplesAttributeToInnermostRegion' \
+    --gtest_brief=1
 
 # Bench regression gate: figure results must match the checked-in
 # baselines counter-exact (fractions, energies, cycles); wall-clock

@@ -21,6 +21,14 @@
 #   report_golden `report` writes one self-contained HTML file: every
 #                 section anchor present, inline SVG sparklines, and
 #                 no external fetches (no http/https URLs at all).
+#   sort_reject   `loops --sort=<key>` accepts exactly the documented
+#                 keys; an unknown key exits 2 and the error names
+#                 the accepted list before any compilation starts.
+#   prof_smoke    `prof` samples a repeated workload run, prints the
+#                 region table with an attribution line, and exports
+#                 non-empty collapsed stacks; on an LBP_PROF=OFF
+#                 build the command degrades to a clear exit-1
+#                 message instead (both outcomes pass the case).
 #   version       `--version` prints the schema triple, and the same
 #                 git SHA is stamped into every emitted JSON document.
 set -u
@@ -135,7 +143,7 @@ case "$CASE" in
     [ -s "$TMP/r.html" ] || fail "report wrote no output"
 
     for anchor in meta gate trajectories metrics histograms \
-                  scorecard phases; do
+                  scorecard phases prof; do
         grep -q "id=\"$anchor\"" "$TMP/r.html" \
             || fail "report is missing section #$anchor"
     done
@@ -146,6 +154,47 @@ case "$CASE" in
     # Self-contained: a single file with zero external fetches.
     grep -qiE 'https?://|<script src|<link ' "$TMP/r.html" \
         && fail "report must not reference external resources"
+    ;;
+
+  sort_reject)
+    # The accepted keys all parse (and run a real scorecard).
+    for key in ops gain evictions bailouts; do
+        "$LBP_STATS" loops adpcm_enc --buffer=256 --sort="$key" \
+            > /dev/null || fail "--sort=$key should be accepted"
+    done
+    # An unknown key is a usage error: exit 2, and the message names
+    # the accepted list so the user need not open the docs.
+    "$LBP_STATS" loops adpcm_enc --sort=bogus > /dev/null \
+        2> "$TMP/err.txt"
+    rc=$?
+    [ $rc -eq 2 ] || fail "unknown sort key exited $rc, want 2"
+    grep -q "unknown sort key 'bogus'" "$TMP/err.txt" \
+        || fail "error should name the rejected key"
+    grep -q 'ops|gain|evictions|bailouts' "$TMP/err.txt" \
+        || fail "error should list the accepted keys"
+    ;;
+
+  prof_smoke)
+    "$LBP_STATS" prof adpcm_enc --reps=20 --out="$TMP/stacks.folded" \
+        > "$TMP/prof.txt" 2> "$TMP/prof.err"
+    rc=$?
+    if [ $rc -ne 0 ]; then
+        # An LBP_PROF=OFF build (or a kernel without per-thread CPU
+        # timers) must say so clearly — anything else is a failure.
+        grep -qE 'compiled out|cannot arm' "$TMP/prof.err" \
+            || fail "prof failed without naming the cause"
+        echo "PASS: $CASE (profiler unavailable: $(cat "$TMP/prof.err"))"
+        exit 0
+    fi
+    grep -q 'attributed:' "$TMP/prof.txt" \
+        || fail "prof output should report the attributed fraction"
+    grep -q 'region' "$TMP/prof.txt" \
+        || fail "prof output should print the region table"
+    [ -s "$TMP/stacks.folded" ] \
+        || fail "prof --out should write non-empty collapsed stacks"
+    # Collapsed-stack lines are "path;leaf <count>".
+    grep -qE '^[A-Za-z][^ ]* [0-9]+$' "$TMP/stacks.folded" \
+        || fail "collapsed stacks are malformed"
     ;;
 
   version)

@@ -52,6 +52,7 @@ compileProgram(const Program &input, const CompileOptions &opts,
                CompileResult &out)
 {
     obs::Registry *const reg = opts.obsRegistry;
+    obs::prof::ScopedRegion profRegion(obs::prof::Region::Compile);
     obs::ScopedPhase total(reg, "compile.total");
 
     out.ir = input;

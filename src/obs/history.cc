@@ -182,7 +182,9 @@ makeHistoryRecord(const Json &doc, const std::string &sourceOverride)
         rec.gitSha = gitSha();
     if (const Json *m = doc.find("machine"))
         rec.machine = *m;
-    rec.values = flattenLeaves(doc);
+    for (auto &kv : flattenLeaves(doc))
+        if (classifyKey(kv.first) != KeyClass::PerPoint)
+            rec.values.push_back(std::move(kv));
     return rec;
 }
 
@@ -283,6 +285,33 @@ loadHistory(const std::string &path, std::string &error)
     return out;
 }
 
+/** True if any unescaped '.'-segment of the key is all digits —
+ * i.e. the leaf sits under a JSON array index. */
+static bool
+hasNumericSegment(const std::string &key)
+{
+    bool inSeg = false, allDigits = true;
+    for (std::size_t i = 0; i <= key.size(); ++i) {
+        if (i == key.size() || key[i] == '.') {
+            if (inSeg && allDigits)
+                return true;
+            inSeg = false;
+            allDigits = true;
+            continue;
+        }
+        if (key[i] == '\\') {
+            ++i; // escaped char: part of the segment, never a digit
+            allDigits = false;
+            inSeg = true;
+            continue;
+        }
+        inSeg = true;
+        if (key[i] < '0' || key[i] > '9')
+            allDigits = false;
+    }
+    return false;
+}
+
 KeyClass
 classifyKey(const std::string &key)
 {
@@ -300,7 +329,8 @@ classifyKey(const std::string &key)
     };
     if (seg == "ms" || seg == "speedup" || endsWith(".ms") ||
         endsWith(".speedup") || endsWith("Ms"))
-        return KeyClass::Timing;
+        return hasNumericSegment(key) ? KeyClass::PerPoint
+                                      : KeyClass::Timing;
     return KeyClass::Exact;
 }
 
@@ -485,10 +515,11 @@ checkAgainstHistory(const std::vector<HistoryRecord> &history,
     const auto current = flattenLeaves(currentDoc);
 
     for (const auto &kv : current) {
-        if (classifyKey(kv.first) == KeyClass::Identity)
+        const KeyClass cls = classifyKey(kv.first);
+        if (cls == KeyClass::Identity || cls == KeyClass::PerPoint)
             continue;
         KeyVerdict v =
-            classifyKey(kv.first) == KeyClass::Timing
+            cls == KeyClass::Timing
                 ? judgeTiming(kv.first, kv.second, records, policy)
                 : judgeExact(kv.first, kv.second, records);
         if (v.verdict == Verdict::NoBaseline && !records.empty())
@@ -502,7 +533,8 @@ checkAgainstHistory(const std::vector<HistoryRecord> &history,
     if (!records.empty()) {
         const HistoryRecord &latest = *records.back();
         for (const auto &kv : latest.values) {
-            if (classifyKey(kv.first) == KeyClass::Identity)
+            const KeyClass cls = classifyKey(kv.first);
+            if (cls == KeyClass::Identity || cls == KeyClass::PerPoint)
                 continue;
             bool present = false;
             for (const auto &ckv : current) {

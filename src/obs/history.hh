@@ -129,6 +129,12 @@ enum class KeyClass
     Identity, ///< machine-dependent knob; never compared
     Timing,   ///< wall-clock-like; median+MAD window
     Exact,    ///< counter/fraction/energy/string; exact vs latest
+    PerPoint, ///< array-indexed wall-clock (points.N.fastMs): one
+              ///< scheduler preemption spikes a single sub-ms point
+              ///< 2-5x on a shared host, so these stay diagnostic —
+              ///< kept in the doc for `lbp_stats diff`, but never
+              ///< written to history records and never gated; the
+              ///< sweep-aggregate Ms keys carry the regression signal
 };
 
 KeyClass classifyKey(const std::string &key);

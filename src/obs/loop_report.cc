@@ -147,6 +147,8 @@ buildLoopScorecard(const std::string &workload,
                 row.replayFraction =
                     static_cast<double>(row.replayedOps) /
                     static_cast<double>(row.opsFromBuffer);
+            row.bailouts = tc->perLoop[id].bailouts;
+            row.bailoutReason = tc->perLoop[id].lastReason;
         }
         row.energyNj =
             static_cast<double>(row.opsFromCache) * memNjPerOp +
@@ -257,8 +259,9 @@ printScorecard(std::ostream &os, const LoopScorecard &sc)
        << "fate" << std::setw(20) << "reason" << std::setw(7)
        << "image" << std::setw(7) << "@addr" << std::setw(12)
        << "dynOps" << std::setw(12) << "bufOps" << std::setw(12)
-       << "missedOps" << std::setw(9) << "replay%" << std::setw(12)
-       << "energyNj" << "  attempts\n";
+       << "missedOps" << std::setw(9) << "replay%" << std::setw(25)
+       << "bailout" << std::setw(12) << "energyNj"
+       << "  attempts\n";
 
     for (const auto &row : sc.rows) {
         os << std::left << std::setw(static_cast<int>(w) + 2)
@@ -285,6 +288,13 @@ printScorecard(std::ostream &os, const LoopScorecard &sc)
                << 100.0 * row.replayFraction << std::defaultfloat;
         else
             os << "-";
+        os << std::setw(25);
+        if (row.bailouts > 0) {
+            os << (std::to_string(row.bailouts) + "*" +
+                   traceBailoutReasonName(row.bailoutReason));
+        } else {
+            os << "-";
+        }
         os << std::setw(12) << std::fixed << std::setprecision(1)
            << row.energyNj << std::defaultfloat << "  "
            << attemptsSummary(row) << "\n";
@@ -320,6 +330,9 @@ scorecardToJson(const LoopScorecard &sc)
         r.set("missed_ops", Json::uinteger(row.missedOps));
         r.set("replayed_ops", Json::uinteger(row.replayedOps));
         r.set("replay_fraction", Json::number(row.replayFraction));
+        r.set("bailouts", Json::uinteger(row.bailouts));
+        r.set("bailout_reason",
+              Json::str(traceBailoutReasonName(row.bailoutReason)));
         r.set("energy_nj", Json::number(row.energyNj));
         Json attempts = Json::array();
         for (const auto &a : row.attempts) {
@@ -362,6 +375,9 @@ publishScorecard(Registry &r, const LoopScorecard &sc,
         r.counter(p + "evictions").set(row.evictions);
         r.counter(p + "replayedOps").set(row.replayedOps);
         r.gauge(p + "replayFraction").set(row.replayFraction);
+        r.counter(p + "bailouts").set(row.bailouts);
+        r.info(p + "bailoutReason",
+               traceBailoutReasonName(row.bailoutReason));
         r.gauge(p + "energyNj").set(row.energyNj);
     }
 }

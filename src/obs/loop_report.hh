@@ -49,6 +49,7 @@ namespace lbp
 struct SimStats;
 struct FetchEnergy;
 struct TraceCacheStats;
+enum class TraceBailoutReason : std::uint8_t;
 
 namespace obs
 {
@@ -184,6 +185,16 @@ struct ScorecardRow
      */
     std::uint64_t replayedOps = 0;
     double replayFraction = 0.0; ///< replayedOps / opsFromBuffer
+
+    /**
+     * Buffered activations the trace cache declined, and why (the
+     * last reason counted; a loop's verdict is static so it never
+     * mixes build-gating reasons, though a short final activation
+     * can leave belowEngageThreshold on an otherwise replayed loop).
+     * Zero/None when the run had no trace cache.
+     */
+    std::uint64_t bailouts = 0;
+    TraceBailoutReason bailoutReason{};  ///< zero-init == None
 
     double energyNj = 0.0;  ///< fetch-energy share of this loop
     std::vector<LoopAttempt> attempts;

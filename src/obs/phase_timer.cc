@@ -9,7 +9,8 @@ namespace obs
 
 ScopedPhase::ScopedPhase(Registry *r, const std::string &name,
                          std::int64_t opsBefore)
-    : r_(r), opsBefore_(opsBefore)
+    : region_(prof::internRegion(name)), r_(r),
+      opsBefore_(opsBefore)
 {
     if (!r_)
         return;

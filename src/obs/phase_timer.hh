@@ -4,8 +4,11 @@
  * ScopedPhase brackets one compile stage: on destruction it adds the
  * elapsed milliseconds to "<name>.ms" in the registry, and optional
  * op counts record the stage's static code-size delta. A null
- * registry makes every member a no-op (the unprofiled pipeline pays
- * one pointer test per stage).
+ * registry makes the registry members no-ops (the unprofiled
+ * pipeline pays one pointer test per stage). Independently of the
+ * registry, each phase pushes a prof region interned under its own
+ * name, so the sampling self-profiler (obs/prof.hh) attributes host
+ * time to individual compile stages with no extra markers.
  */
 
 #ifndef LBP_OBS_PHASE_TIMER_HH
@@ -14,6 +17,8 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+
+#include "obs/prof.hh"
 
 namespace lbp
 {
@@ -41,6 +46,7 @@ class ScopedPhase
     ScopedPhase &operator=(const ScopedPhase &) = delete;
 
   private:
+    prof::ScopedRegion region_;
     Registry *r_;
     std::string name_;
     std::int64_t opsBefore_;

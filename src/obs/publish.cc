@@ -91,6 +91,19 @@ publishTraceCacheStats(Registry &r, const TraceCacheStats &s,
     r.counter(prefix + ".replayedIterations")
         .set(s.replayedIterations);
     r.counter(prefix + ".replayedOps").set(s.replayedOps);
+    // Per-reason bailout split (sums to .bailouts). Every real
+    // reason is published, zeros included, so the bench-diff and
+    // history gates see a stable key set; None is the "traceable"
+    // verdict and never a bailout.
+    for (std::size_t i =
+             static_cast<std::size_t>(TraceBailoutReason::Unknown);
+         i < static_cast<std::size_t>(TraceBailoutReason::Count);
+         ++i) {
+        r.counter(prefix + ".bailout." +
+                  traceBailoutReasonName(
+                      static_cast<TraceBailoutReason>(i)))
+            .set(s.bailoutsBy[i]);
+    }
 }
 
 void

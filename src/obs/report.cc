@@ -552,6 +552,69 @@ writePhasesSection(std::ostream &os, const ReportData &d)
     os << "</section>\n";
 }
 
+/**
+ * "Where the host cycles go": the sampling self-profiler's region
+ * split for the run that produced this report. Same .barrow bars as
+ * the phase section, ranked by sample count, with the attribution
+ * quality (fraction of samples landing inside a named region) in the
+ * subtitle. A report generated without the profiler (LBP_PROF=OFF,
+ * no timer support, or a pre-prof document) renders the placeholder.
+ */
+void
+writeProfSection(std::ostream &os, const ReportData &d)
+{
+    const Json *regions = d.prof.kind() == Json::Kind::Object
+                              ? d.prof.find("regions")
+                              : nullptr;
+    struct Region
+    {
+        std::string label;
+        double count;
+    };
+    std::vector<Region> rows;
+    if (regions)
+        for (const auto &kv : regions->members())
+            if (kv.second.isNumber() && kv.second.asDouble() > 0)
+                rows.push_back({kv.first, kv.second.asDouble()});
+    if (rows.empty()) {
+        os << "<section id=\"prof\"><h2>Where the host cycles go"
+              "</h2><p class=\"muted\">no self-profile in this "
+              "document (profiler compiled out or sampling "
+              "unavailable)</p></section>\n";
+        return;
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const Region &a, const Region &b) {
+                         return a.count > b.count;
+                     });
+    double samples = 0, maxCount = 0;
+    if (const Json *s = d.prof.find("samples"))
+        samples = s->asDouble();
+    for (const auto &r : rows)
+        maxCount = std::max(maxCount, r.count);
+    os << "<section id=\"prof\"><h2>Where the host cycles go</h2>"
+       << "<p class=\"muted\">" << fmt(samples)
+       << " samples, self-profiled while generating this report";
+    if (const Json *af = d.prof.find("attributed_fraction"))
+        os << " &middot; " << fmt(100.0 * af->asDouble())
+           << "% attributed to named regions";
+    os << "</p>";
+    for (const auto &r : rows) {
+        const double pct =
+            maxCount > 0 ? 100.0 * r.count / maxCount : 0;
+        const double share =
+            samples > 0 ? 100.0 * r.count / samples : 0;
+        os << "<div class=\"barrow\"><div class=\"lbl\">"
+           << htmlEscape(r.label)
+           << "</div><div class=\"track\"><div class=\"bar\" "
+              "style=\"width:"
+           << fmt(pct) << "%\"></div></div><div class=\"val\">"
+           << fmt(r.count) << " (" << fmt(share)
+           << "%)</div></div>";
+    }
+    os << "</section>\n";
+}
+
 } // namespace
 
 std::string
@@ -591,6 +654,7 @@ writeHtmlReport(std::ostream &os, const ReportData &data)
     writeHistogramsSection(os, data);
     writeScorecardSection(os, data);
     writePhasesSection(os, data);
+    writeProfSection(os, data);
 
     os << "<footer>generated by lbp_stats report &middot; "
        << htmlEscape(versionString())

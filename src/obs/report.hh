@@ -22,6 +22,9 @@
  *                  dynamics, missed-ops pricing, transform attempts
  *   #phases        the compile-pipeline phase-timer breakdown as a
  *                  horizontal bar chart
+ *   #prof          "where the host cycles go": the sampling
+ *                  self-profiler's region split for the run that
+ *                  produced this report, as a bar chart
  */
 
 #ifndef LBP_OBS_REPORT_HH
@@ -45,6 +48,9 @@ struct ReportData
     Json registryDoc;   ///< Registry::toJson() of the current run
     Json scorecard;     ///< scorecardToJson() (Null to omit)
     Json check;         ///< CheckReport::toJson() (Null to omit)
+    Json prof;          ///< self-profile snapshot (Null to omit):
+                        ///< {samples, untracked, dropped,
+                        ///<  attributed_fraction, regions:{label:n}}
     std::vector<HistoryRecord> history; ///< full store, all sources
     std::string historyPath; ///< display only ("" when no store)
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/prof.hh"
 #include "support/logging.hh"
 
 namespace lbp
@@ -299,6 +300,7 @@ decodeProgram(const SchedProgram &code, const LoopTable &loops)
 DecodedImage
 buildDecodedImage(const SchedProgram &code)
 {
+    obs::prof::ScopedRegion profRegion(obs::prof::Region::Decode);
     DecodedImage img;
     img.loops = buildLoopTable(code);
     img.program = decodeProgram(code, img.loops);

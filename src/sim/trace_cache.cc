@@ -18,6 +18,7 @@
 
 #include <algorithm>
 
+#include "obs/prof.hh"
 #include "sim/dispatch.hh"
 #include "sim/vliw_sim.hh"
 #include "support/logging.hh"
@@ -50,7 +51,135 @@ asBits(double d)
     return v;
 }
 
+/**
+ * The loop's own backedge inside its head block: BR_CLOOP/BR_WLOOP
+ * (by ctx.counted) targeting the head. Returns the op and its bundle
+ * index, or {nullptr, -1}.
+ */
+struct BackedgeLoc
+{
+    const MicroOp *op = nullptr;
+    std::int32_t bundle = -1;
+};
+
+BackedgeLoc
+findBackedge(const LoopCtx &ctx, const DecodedFunction &df)
+{
+    const DecodedBlock &db = df.blocks[ctx.head];
+    const Opcode beOp =
+        ctx.counted ? Opcode::BR_CLOOP : Opcode::BR_WLOOP;
+    for (std::uint32_t bi = 0; bi < db.bundleCount; ++bi) {
+        const DecodedBundle &bu = df.bundles[db.firstBundle + bi];
+        for (std::uint32_t oi = 0; oi < bu.count; ++oi) {
+            const MicroOp &m = df.ops[bu.first + oi];
+            if (m.op == beOp && m.target == ctx.head)
+                return {&m, static_cast<std::int32_t>(bi)};
+        }
+    }
+    return {};
+}
+
 } // namespace
+
+const char *
+traceBailoutReasonName(TraceBailoutReason r)
+{
+    switch (r) {
+      case TraceBailoutReason::None: return "none";
+      case TraceBailoutReason::Unknown: return "unknown";
+      case TraceBailoutReason::EmptyBody: return "emptyBody";
+      case TraceBailoutReason::NoHeadBackedge:
+        return "noHeadBackedge";
+      case TraceBailoutReason::GuardedBackedge:
+        return "guardedBackedge";
+      case TraceBailoutReason::SlotSensitiveBackedge:
+        return "slotSensitiveBackedge";
+      case TraceBailoutReason::CallInBody: return "callInBody";
+      case TraceBailoutReason::MultiControlOp:
+        return "multiControlOp";
+      case TraceBailoutReason::BelowEngageThreshold:
+        return "belowEngageThreshold";
+      case TraceBailoutReason::Count: break;
+    }
+    return "unknown";
+}
+
+TraceBailoutReason
+classifyTraceBody(const LoopCtx &ctx, const DecodedFunction &df)
+{
+    const DecodedBlock &db = df.blocks[ctx.head];
+    if (!db.valid || db.bundleCount == 0)
+        return TraceBailoutReason::EmptyBody;
+
+    // The backedge: the loop's own BR_CLOOP / BR_WLOOP back to the
+    // head, unguarded and non-sensitive (a predicated backedge could
+    // be nullified mid-activation, which replay does not model).
+    const BackedgeLoc be = findBackedge(ctx, df);
+    if (be.op == nullptr)
+        return TraceBailoutReason::NoHeadBackedge;
+    if (be.op->guard != kNoPred)
+        return TraceBailoutReason::GuardedBackedge;
+    if (be.op->sensitive)
+        return TraceBailoutReason::SlotSensitiveBackedge;
+
+    // Every other op up to the backedge bundle must be straight-line:
+    // any second control transfer (abnormal exit, nested loop, call)
+    // makes the body untraceable and the general path keeps it.
+    for (std::int32_t bi = 0; bi <= be.bundle; ++bi) {
+        const DecodedBundle &bu = df.bundles[db.firstBundle + bi];
+        for (std::uint32_t oi = 0; oi < bu.count; ++oi) {
+            const MicroOp &m = df.ops[bu.first + oi];
+            if (&m == be.op)
+                continue;
+            switch (m.handler) {
+              case ExecHandler::PRED_DEF:
+              case ExecHandler::LOAD:
+              case ExecHandler::STORE:
+              case ExecHandler::MOV:
+              case ExecHandler::ABS:
+              case ExecHandler::ITOF:
+              case ExecHandler::FTOI:
+              case ExecHandler::SELECT:
+              case ExecHandler::ALU:
+                break;
+              case ExecHandler::CALL:
+              case ExecHandler::RET:
+                return TraceBailoutReason::CallInBody;
+              default:
+                return TraceBailoutReason::MultiControlOp;
+            }
+        }
+    }
+    return TraceBailoutReason::None;
+}
+
+void
+accumulateTraceCacheStats(TraceCacheStats &into,
+                          const TraceCacheStats &from)
+{
+    into.builds += from.builds;
+    into.replays += from.replays;
+    into.bailouts += from.bailouts;
+    into.invalidations += from.invalidations;
+    into.replayedIterations += from.replayedIterations;
+    into.replayedOps += from.replayedOps;
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(TraceBailoutReason::Count);
+         ++i)
+        into.bailoutsBy[i] += from.bailoutsBy[i];
+    if (into.perLoop.size() < from.perLoop.size())
+        into.perLoop.resize(from.perLoop.size());
+    for (std::size_t id = 0; id < from.perLoop.size(); ++id) {
+        const TraceCacheStats::PerLoop &src = from.perLoop[id];
+        TraceCacheStats::PerLoop &dst = into.perLoop[id];
+        dst.replays += src.replays;
+        dst.iterations += src.iterations;
+        dst.ops += src.ops;
+        dst.bailouts += src.bailouts;
+        if (src.lastReason != TraceBailoutReason::None)
+            dst.lastReason = src.lastReason;
+    }
+}
 
 TraceCache::TraceCache(std::size_t numLoops, bool slotMode)
     : traces_(numLoops), slotMode_(slotMode)
@@ -64,6 +193,16 @@ TraceCache::resetRunStats()
     TraceCacheStats fresh;
     fresh.perLoop.resize(traces_.size());
     stats_ = std::move(fresh);
+}
+
+void
+TraceCache::countBailout(int loopId, TraceBailoutReason reason)
+{
+    ++stats_.bailouts;
+    ++stats_.bailoutsBy[static_cast<std::size_t>(reason)];
+    TraceCacheStats::PerLoop &pl = stats_.perLoop[loopId];
+    ++pl.bailouts;
+    pl.lastReason = reason;
 }
 
 void
@@ -95,63 +234,24 @@ void
 TraceCache::build(LoopTrace &tr, const LoopCtx &ctx,
                   const DecodedFunction &df)
 {
-    // Verdict defaults to Untraceable; every early return below is a
-    // body shape the replay loop cannot reproduce bit-exactly.
-    tr.state = LoopTrace::State::Untraceable;
+    obs::prof::ScopedRegion profRegion(
+        obs::prof::Region::TraceBuild);
     tr.wloop = !ctx.counted;
 
+    // Static gating first: any verdict other than None is a body
+    // shape the replay loop cannot reproduce bit-exactly, recorded on
+    // the trace so each later declined activation knows its reason.
+    const TraceBailoutReason verdict = classifyTraceBody(ctx, df);
+    if (verdict != TraceBailoutReason::None) {
+        tr.state = LoopTrace::State::Untraceable;
+        tr.reason = verdict;
+        return;
+    }
+
     const DecodedBlock &db = df.blocks[ctx.head];
-    if (!db.valid || db.bundleCount == 0)
-        return;
-
-    // The backedge: the loop's own BR_CLOOP / BR_WLOOP back to the
-    // head, unguarded and non-sensitive (a predicated backedge could
-    // be nullified mid-activation, which replay does not model).
-    const Opcode beOp =
-        ctx.counted ? Opcode::BR_CLOOP : Opcode::BR_WLOOP;
-    std::int32_t beBundle = -1;
-    const MicroOp *backedge = nullptr;
-    for (std::uint32_t bi = 0;
-         bi < db.bundleCount && backedge == nullptr; ++bi) {
-        const DecodedBundle &bu = df.bundles[db.firstBundle + bi];
-        for (std::uint32_t oi = 0; oi < bu.count; ++oi) {
-            const MicroOp &m = df.ops[bu.first + oi];
-            if (m.op == beOp && m.target == ctx.head) {
-                backedge = &m;
-                beBundle = static_cast<std::int32_t>(bi);
-                break;
-            }
-        }
-    }
-    if (backedge == nullptr || backedge->guard != kNoPred ||
-        backedge->sensitive)
-        return;
-
-    // Every other op up to the backedge bundle must be straight-line:
-    // any second control transfer (abnormal exit, nested loop, call)
-    // makes the body untraceable and the general path keeps it.
-    for (std::int32_t bi = 0; bi <= beBundle; ++bi) {
-        const DecodedBundle &bu = df.bundles[db.firstBundle + bi];
-        for (std::uint32_t oi = 0; oi < bu.count; ++oi) {
-            const MicroOp &m = df.ops[bu.first + oi];
-            if (&m == backedge)
-                continue;
-            switch (m.handler) {
-              case ExecHandler::PRED_DEF:
-              case ExecHandler::LOAD:
-              case ExecHandler::STORE:
-              case ExecHandler::MOV:
-              case ExecHandler::ABS:
-              case ExecHandler::ITOF:
-              case ExecHandler::FTOI:
-              case ExecHandler::SELECT:
-              case ExecHandler::ALU:
-                break;
-              default:
-                return;
-            }
-        }
-    }
+    const BackedgeLoc be = findBackedge(ctx, df);
+    const MicroOp *const backedge = be.op;
+    const std::int32_t beBundle = be.bundle;
 
     // Flatten bundles 0..backedge, baking the static facts replay
     // uses: can the op ever be nullified, and can the bundle commit
@@ -264,11 +364,13 @@ VliwSim::replayResident(LoopCtx &ctx, const DecodedFunction &df,
         // Once per activation, not once per iteration arrival.
         if (!ctx.traceDeclined) {
             ctx.traceDeclined = true;
-            ++tc.stats().bailouts;
+            tc.countBailout(ctx.loopId, tr.reason);
         }
         return {};
     }
 
+    obs::prof::ScopedRegion profRegion(
+        obs::prof::Region::SimReplay);
     TraceCacheStats &tcs = tc.stats();
     ++tcs.replays;
     LoopStats &ls = stats_.loops[ctx.loopId];

@@ -48,6 +48,37 @@ namespace lbp
 {
 
 /**
+ * Why a buffered activation declined trace replay. Closed taxonomy:
+ * every bailout the cache counts carries exactly one of these, so the
+ * scorecard can say per loop *which* gating rule to widen next instead
+ * of a bare count. Mirrors the loop-shape taxonomy of "Hardware
+ * Support for Arbitrarily Complex Loop Structures" (PAPERS.md).
+ *
+ * None is the build verdict "traceable" and never counts as a bailout.
+ * Unknown is the defensive fallback; nothing in the tree produces it
+ * (the all-workloads trace-cache test asserts it stays zero). Stale is
+ * deliberately NOT a reason: an evicted trace revalidates O(1) at the
+ * next residency and replays (see LoopTrace::State::Stale), so
+ * staleness never declines an activation.
+ */
+enum class TraceBailoutReason : std::uint8_t
+{
+    None,                  ///< traceable — not a bailout
+    Unknown,               ///< unclassified (must stay unreachable)
+    EmptyBody,             ///< head block invalid or bundle-less
+    NoHeadBackedge,        ///< loop backedge not in the head block
+    GuardedBackedge,       ///< backedge carries a guard predicate
+    SlotSensitiveBackedge, ///< backedge is slot-predicate sensitive
+    CallInBody,            ///< body calls (or returns) — frame churn
+    MultiControlOp,        ///< second control transfer in the body
+    BelowEngageThreshold,  ///< counted trip < kMinCountedReplayIters
+    Count,
+};
+
+/** Stable lower-camel token for counters/columns ("guardedBackedge"). */
+const char *traceBailoutReasonName(TraceBailoutReason r);
+
+/**
  * Side-band trace-cache counters. Deliberately NOT part of SimStats:
  * the reference engine never replays, so folding these into the
  * differentially-compared stats would break the bit-identical
@@ -57,19 +88,35 @@ struct TraceCacheStats
 {
     std::uint64_t builds = 0;        ///< traces built (incl. rebuilds)
     std::uint64_t replays = 0;       ///< engagements (≥1 iteration each)
-    std::uint64_t bailouts = 0;      ///< activations declined (untraceable)
+    std::uint64_t bailouts = 0;      ///< activations declined
     std::uint64_t invalidations = 0; ///< traces dropped on image eviction
     std::uint64_t replayedIterations = 0;
     std::uint64_t replayedOps = 0;   ///< ops issued from traces
+
+    /** Per-reason split of bailouts; sums exactly to bailouts. */
+    std::uint64_t bailoutsBy[static_cast<std::size_t>(
+        TraceBailoutReason::Count)] = {};
 
     struct PerLoop
     {
         std::uint64_t replays = 0;
         std::uint64_t iterations = 0;
         std::uint64_t ops = 0;       ///< of LoopStats::opsFromBuffer
+        std::uint64_t bailouts = 0;  ///< declined activations
+        TraceBailoutReason lastReason = TraceBailoutReason::None;
     };
     std::vector<PerLoop> perLoop;    ///< indexed by dense loop id
 };
+
+/**
+ * Accumulate @p from into @p into — every counter added, the per-loop
+ * table grown to the larger id space, lastReason taken from @p from
+ * when it carries one. Lets a buffer-size sweep aggregate one
+ * TraceCacheStats across runs (the bench JSON's trace_cache block)
+ * while per-run code passes a freshly zeroed struct and gets a copy.
+ */
+void accumulateTraceCacheStats(TraceCacheStats &into,
+                               const TraceCacheStats &from);
 
 /** One flattened bundle of a built trace. */
 struct TraceBundle
@@ -106,6 +153,8 @@ struct LoopTrace
         Untraceable,
     };
     State state = State::Unbuilt;
+    /** Build verdict when Untraceable; None while traceable. */
+    TraceBailoutReason reason = TraceBailoutReason::None;
     bool wloop = false;              ///< backedge is BR_WLOOP
 
     std::vector<MicroOp> ops;        ///< body ops, backedge excluded
@@ -136,6 +185,17 @@ struct LoopCtx;
  */
 constexpr std::int64_t kMinCountedReplayIters = 4;
 
+/**
+ * Static build-gating verdict for @p ctx's body in @p df: None means
+ * the body is traceable, anything else names the first rule it fails.
+ * Pure classification — no trace is built, no counters move. Exposed
+ * so tests can probe the taxonomy against synthetic decoded images
+ * without driving a full activation; TraceCache::build() derives its
+ * Untraceable verdicts from exactly this function.
+ */
+TraceBailoutReason classifyTraceBody(const LoopCtx &ctx,
+                                     const DecodedFunction &df);
+
 /** Per-sim-instance trace store, keyed by interned dense loop id. */
 class TraceCache
 {
@@ -155,6 +215,14 @@ class TraceCache
      * (a rebuild would re-derive them).
      */
     void invalidate(int loopId);
+
+    /**
+     * Count one declined activation of @p loopId for @p reason —
+     * total, per reason, and per loop (the loop also remembers the
+     * reason for the scorecard). Call sites dedupe per activation via
+     * LoopCtx::traceDeclined so bailouts ≤ activations holds.
+     */
+    void countBailout(int loopId, TraceBailoutReason reason);
 
     /** Counter reset at run() start; built traces stay valid. */
     void resetRunStats();

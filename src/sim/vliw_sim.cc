@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "ir/interpreter.hh"
+#include "obs/prof.hh"
 #include "obs/trace.hh"
 #include "sim/decoded.hh"
 #include "sim/trace_cache.hh"
@@ -70,6 +71,8 @@ VliwSim::VliwSim(const SchedProgram &code, const SimConfig &cfg,
         loopTable_ = &image->loops;
         decoded_ = &image->program;
     } else {
+        obs::prof::ScopedRegion profRegion(
+            obs::prof::Region::Decode);
         ownedLoopTable_ =
             std::make_unique<LoopTable>(buildLoopTable(code_));
         loopTable_ = ownedLoopTable_.get();
@@ -138,7 +141,12 @@ VliwSim::run(const std::vector<std::int64_t> &args)
     if (traceCache_)
         traceCache_->resetRunStats();
     slotPred_.fill(1);
+    opProfCycles_.fill(0);
 
+    obs::prof::ScopedRegion profRegion(
+        cfg_.engine == SimEngine::DECODED
+            ? obs::prof::Region::SimDispatch
+            : obs::prof::Region::SimReference);
     auto rets = cfg_.engine == SimEngine::DECODED
                     ? callFunctionDecoded(prog.entryFunc, args)
                     : callFunction(prog.entryFunc, args);

@@ -181,6 +181,16 @@ struct SimConfig
      * obs tests assert differentially.
      */
     obs::TraceSink *trace = nullptr;
+
+    /**
+     * Per-ExecHandler-kind rdtsc attribution in the decoded engine
+     * (read back via VliwSim::opProfCycles). Routes the run through
+     * the Traced instantiation — where trace replay never engages —
+     * so the production untraced stamp stays free of timing code;
+     * SimStats remain bit-identical either way. Effective only when
+     * both LBP_TRACE and LBP_PROF are compiled in.
+     */
+    bool opProf = false;
 };
 
 struct DecodedProgram;
@@ -261,6 +271,19 @@ class VliwSim
      */
     const TraceCacheStats *traceCacheStats() const;
 
+    /**
+     * Per-ExecHandler rdtsc windows from the last SimConfig::opProf
+     * run, indexed by ExecHandler value (kOpProfSlots entries; zeros
+     * when op profiling was off or not compiled in). A "window" is
+     * the cycle span from one op's dispatch to the next op's — the
+     * handler body plus its share of dispatch overhead.
+     */
+    static constexpr std::size_t kOpProfSlots = 16;
+    const std::uint64_t *opProfCycles() const
+    {
+        return opProfCycles_.data();
+    }
+
   private:
     struct Frame
     {
@@ -330,6 +353,9 @@ class VliwSim
 
     /** Slot standing predicates (physical machine state). */
     std::array<std::uint8_t, Machine::width> slotPred_;
+
+    /** See opProfCycles(); written only by the Traced stamp. */
+    std::array<std::uint64_t, kOpProfSlots> opProfCycles_{};
 };
 
 } // namespace lbp

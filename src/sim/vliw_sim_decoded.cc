@@ -29,7 +29,14 @@ VliwSim::callFunctionDecoded(FuncId f,
                              const std::vector<std::int64_t> &args)
 {
 #if LBP_TRACE
-    if (cfg_.trace)
+    // opProf rides the Traced stamp (where trace replay never
+    // engages) so the production hot loop stays free of timing code;
+    // without the traced TU the flag degrades to a plain run.
+    if (cfg_.trace
+#if LBP_PROF
+        || cfg_.opProf
+#endif
+    )
         return callFunctionDecodedImpl<true>(f, args);
 #endif
     return callFunctionDecodedImpl<false>(f, args);

@@ -32,6 +32,7 @@
 
 #include <algorithm>
 
+#include "obs/prof.hh"
 #include "obs/trace.hh"
 #include "sim/decoded.hh"
 #include "sim/dispatch.hh"
@@ -110,6 +111,21 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
     [[maybe_unused]] obs::TraceSink *const ts =
         Traced ? cfg_.trace : nullptr;
 
+#if LBP_PROF
+    // Per-ExecHandler rdtsc windows (SimConfig::opProf): the span
+    // from one op's dispatch to the next in the same bundle is
+    // charged to the earlier op's handler kind; windows close at the
+    // bundle boundary so commits, calls and block bookkeeping stay
+    // unattributed. Traced stamp only — the production untraced hot
+    // loop carries no timing code at all.
+    static_assert(static_cast<std::size_t>(ExecHandler::COUNT) <=
+                      kOpProfSlots,
+                  "opProfCycles_ too small for ExecHandler");
+    [[maybe_unused]] const bool opProf = Traced && cfg_.opProf;
+    [[maybe_unused]] std::uint64_t opTsc = 0;
+    [[maybe_unused]] int opHandler = -1;
+#endif
+
     auto readSrc = [&](const XSrc &s) -> std::int64_t {
         if (s.kind == XSrc::REG)
             return regs[s.idx];
@@ -168,8 +184,19 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
             if (traceCache_ && curBu == 0 && !loopStack.empty()) {
                 LoopCtx &top = loopStack.back();
                 if (top.head == curBlk && top.fromBuffer &&
-                    (!top.counted ||
-                     top.remaining >= kMinCountedReplayIters)) {
+                    top.counted &&
+                    top.remaining < kMinCountedReplayIters) {
+                    // Residency without enough iterations left to
+                    // amortize a replay: a real bailout (the general
+                    // path runs the activation), attributed like any
+                    // build-gating decline — once per activation.
+                    if (!top.traceDeclined) {
+                        top.traceDeclined = true;
+                        traceCache_->countBailout(
+                            top.loopId,
+                            TraceBailoutReason::BelowEngageThreshold);
+                    }
+                } else if (top.head == curBlk && top.fromBuffer) {
                     const ReplayResult rr =
                         replayResident(top, df, regs, preds);
                     if (rr.outcome != ReplayOutcome::NotEngaged) {
@@ -262,6 +289,17 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
         for (const MicroOp *m = opBase + bu.first,
                            *const end = m + bu.count;
              m != end; ++m) {
+            if constexpr (Traced) {
+#if LBP_PROF
+                if (opProf) {
+                    const std::uint64_t now = obs::prof::tsc();
+                    if (opHandler >= 0)
+                        opProfCycles_[opHandler] += now - opTsc;
+                    opTsc = now;
+                    opHandler = static_cast<int>(m->handler);
+                }
+#endif
+            }
             bool exec;
             if (slotMode && m->sensitive) {
                 ++stats_.opsSensitive;
@@ -623,6 +661,14 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
               LBP_BAD_HANDLER();
             }
             LBP_DISPATCH_END;
+        }
+        if constexpr (Traced) {
+#if LBP_PROF
+            if (opProf && opHandler >= 0) {
+                opProfCycles_[opHandler] += obs::prof::tsc() - opTsc;
+                opHandler = -1;
+            }
+#endif
         }
 
         // ---- Phase 2: commit ----

@@ -241,6 +241,60 @@ TEST(ObsHistory, ClassifyKeyPolicies)
     // Machine knobs and the bench name are identity, never compared.
     EXPECT_EQ(obs::classifyKey("timing.threads"), KeyClass::Identity);
     EXPECT_EQ(obs::classifyKey("bench"), KeyClass::Identity);
+
+    // Array-indexed wall clocks are per-point: diagnostic in the doc
+    // but never recorded or gated (a single scheduler preemption
+    // spikes one sub-ms point far beyond any honest MAD window).
+    // The numeric segment may sit anywhere on the path, and exact
+    // keys under an index stay exact.
+    EXPECT_EQ(obs::classifyKey("points.17.fastMs"),
+              KeyClass::PerPoint);
+    EXPECT_EQ(obs::classifyKey("points.0.referenceMs"),
+              KeyClass::PerPoint);
+    EXPECT_EQ(obs::classifyKey("points.3.speedup"),
+              KeyClass::PerPoint);
+    EXPECT_EQ(obs::classifyKey("sweep.4.inner.ms"),
+              KeyClass::PerPoint);
+    EXPECT_EQ(obs::classifyKey("points.17.cycles"),
+              KeyClass::Exact);
+    // An escaped dot does not fake an index boundary: "0.ms" as one
+    // literal segment is a plain Timing gauge name.
+    EXPECT_EQ(obs::classifyKey("metrics.0\\.ms.v.ms"),
+              KeyClass::Timing);
+}
+
+TEST(ObsHistory, PerPointKeysNeverRecordedNorGated)
+{
+    // A bench doc with a spiky per-point timing: the record drops the
+    // per-point leaves, and a 5x spike on one point passes the gate
+    // while the aggregate stays windowed.
+    auto doc = [](double pointMs, double totalMs) {
+        obs::Json points = obs::Json::array();
+        obs::Json p = obs::Json::object();
+        p.set("fastMs", obs::Json::number(pointMs));
+        p.set("cycles", obs::Json::uinteger(1234));
+        points.push(std::move(p));
+        obs::Json d = obs::Json::object();
+        d.set("bench", obs::Json::str("pp"));
+        d.set("totalMs", obs::Json::number(totalMs));
+        d.set("points", std::move(points));
+        return d;
+    };
+
+    const obs::HistoryRecord rec = obs::makeHistoryRecord(doc(1, 10));
+    EXPECT_EQ(rec.find("points.0.fastMs"), nullptr)
+        << "per-point timing must not be recorded";
+    ASSERT_NE(rec.find("points.0.cycles"), nullptr)
+        << "per-point counters stay recorded (exact-classed)";
+    ASSERT_NE(rec.find("totalMs"), nullptr);
+
+    const std::vector<obs::HistoryRecord> hist = {rec, rec, rec};
+    const obs::CheckReport rep =
+        obs::checkAgainstHistory(hist, doc(5, 10), obs::CheckPolicy{});
+    EXPECT_FALSE(rep.failed()) << "5x one-point spike must not gate";
+    for (const auto &v : rep.verdicts)
+        EXPECT_NE(v.key, "points.0.fastMs")
+            << "per-point timing must not even be judged";
 }
 
 // ------------------------------------------------------ window math

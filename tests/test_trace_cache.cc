@@ -157,6 +157,183 @@ TEST(TraceCache, UntraceableResidentBodyBailsOutPerActivation)
     for (const auto &ls : st.loops)
         activations += ls.activations;
     EXPECT_LE(tc.bailouts, activations);
+
+    // Every bailout names a concrete reason: the defensive Unknown
+    // bucket stays empty, and the per-reason split integrates back
+    // to the headline counter.
+    EXPECT_EQ(tc.bailoutsBy[static_cast<std::size_t>(
+                  TraceBailoutReason::Unknown)],
+              0u);
+    std::uint64_t byReason = 0;
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(TraceBailoutReason::Count);
+         ++i)
+        byReason += tc.bailoutsBy[i];
+    EXPECT_EQ(byReason, tc.bailouts);
+}
+
+// ---- classifyTraceBody coverage ------------------------------------
+//
+// The compiler only produces a subset of untraceable shapes (e.g. it
+// never emits a guarded backedge today), so the closed-enum coverage
+// contract — every TraceBailoutReason reachable, Unknown never — is
+// pinned on hand-assembled DecodedFunction images fed straight to the
+// pure classifier.
+
+MicroOp
+microOp(Opcode op, ExecHandler h)
+{
+    MicroOp m;
+    m.op = op;
+    m.handler = h;
+    return m;
+}
+
+MicroOp
+aluOp()
+{
+    return microOp(Opcode::ADD, ExecHandler::ALU);
+}
+
+/**
+ * One-block function: the given body ops, one per bundle, plus (by
+ * default) a trailing unguarded BR_CLOOP backedge to the head.
+ */
+DecodedFunction
+makeLoopBody(std::vector<MicroOp> body, bool withBackedge = true)
+{
+    DecodedFunction df;
+    if (withBackedge) {
+        MicroOp be = microOp(Opcode::BR_CLOOP,
+                             ExecHandler::BR_CLOOP);
+        be.target = 0;
+        body.push_back(be);
+    }
+    for (std::size_t i = 0; i < body.size(); ++i) {
+        DecodedBundle bu;
+        bu.first = static_cast<std::uint32_t>(i);
+        bu.count = 1;
+        bu.sizeOps = 1;
+        df.bundles.push_back(bu);
+    }
+    df.ops = std::move(body);
+    DecodedBlock db;
+    db.firstBundle = 0;
+    db.bundleCount = static_cast<std::uint32_t>(df.bundles.size());
+    db.valid = true;
+    df.blocks.push_back(db);
+    df.entry = 0;
+    return df;
+}
+
+LoopCtx
+headLoopCtx()
+{
+    LoopCtx ctx;
+    ctx.head = 0;
+    ctx.loopId = 0;
+    ctx.counted = true;
+    return ctx;
+}
+
+TEST(TraceCache, ClassifierCoversEveryBailoutReason)
+{
+    using R = TraceBailoutReason;
+    const LoopCtx ctx = headLoopCtx();
+    bool produced[static_cast<std::size_t>(R::Count)] = {};
+    auto classify = [&](const DecodedFunction &df) {
+        const R r = classifyTraceBody(ctx, df);
+        produced[static_cast<std::size_t>(r)] = true;
+        return r;
+    };
+
+    // The traceable shape first: straight ALU body, clean backedge.
+    EXPECT_EQ(classify(makeLoopBody({aluOp()})), R::None);
+
+    DecodedFunction invalid = makeLoopBody({aluOp()});
+    invalid.blocks[0].valid = false;
+    EXPECT_EQ(classify(invalid), R::EmptyBody);
+
+    DecodedFunction hollow = makeLoopBody({aluOp()});
+    hollow.blocks[0].bundleCount = 0;
+    EXPECT_EQ(classify(hollow), R::EmptyBody);
+
+    EXPECT_EQ(classify(makeLoopBody({aluOp()}, false)),
+              R::NoHeadBackedge);
+
+    // A wloop backedge does not satisfy a counted loop's search.
+    DecodedFunction wrongKind = makeLoopBody({aluOp()}, false);
+    MicroOp wloop = microOp(Opcode::BR_WLOOP, ExecHandler::BR);
+    wloop.target = 0;
+    wrongKind.ops.push_back(wloop);
+    DecodedBundle bu;
+    bu.first = 1;
+    bu.count = 1;
+    bu.sizeOps = 1;
+    wrongKind.bundles.push_back(bu);
+    wrongKind.blocks[0].bundleCount = 2;
+    EXPECT_EQ(classify(wrongKind), R::NoHeadBackedge);
+
+    DecodedFunction guarded = makeLoopBody({aluOp()});
+    guarded.ops.back().guard = 1;  // any PredId != kNoPred (== 0)
+    EXPECT_EQ(classify(guarded), R::GuardedBackedge);
+
+    DecodedFunction sensitive = makeLoopBody({aluOp()});
+    sensitive.ops.back().sensitive = true;
+    EXPECT_EQ(classify(sensitive), R::SlotSensitiveBackedge);
+
+    EXPECT_EQ(classify(makeLoopBody(
+                  {aluOp(),
+                   microOp(Opcode::CALL, ExecHandler::CALL)})),
+              R::CallInBody);
+    EXPECT_EQ(classify(makeLoopBody(
+                  {aluOp(), microOp(Opcode::RET, ExecHandler::RET)})),
+              R::CallInBody);
+
+    EXPECT_EQ(classify(makeLoopBody(
+                  {aluOp(),
+                   microOp(Opcode::JUMP, ExecHandler::JUMP)})),
+              R::MultiControlOp);
+
+    // BelowEngageThreshold is not a build verdict — the engagement
+    // site counts it (covered end-to-end below); mark it so the
+    // coverage sweep can require everything else from the classifier.
+    produced[static_cast<std::size_t>(R::BelowEngageThreshold)] =
+        true;
+
+    EXPECT_FALSE(produced[static_cast<std::size_t>(R::Unknown)])
+        << "nothing in the tree may classify as Unknown";
+    for (std::size_t i = static_cast<std::size_t>(R::EmptyBody);
+         i < static_cast<std::size_t>(R::Count); ++i)
+        EXPECT_TRUE(produced[i])
+            << "reason never produced: "
+            << traceBailoutReasonName(static_cast<R>(i));
+}
+
+TEST(TraceCache, ShortCountedTripBailsOutBelowEngageThreshold)
+{
+    // Trip count below kMinCountedReplayIters: the loop is buffered
+    // and traceable, but the engagement site declines every
+    // activation as not worth a replay setup.
+    Program prog = countedLoopProgram(
+        static_cast<int>(kMinCountedReplayIters) - 1);
+    CompileOptions opts;
+    opts.level = OptLevel::Traditional;
+    opts.bufferOps = 256;
+    CompileResult cr;
+    compileProgram(prog, opts, cr);
+
+    VliwSim sim(cr.code, simConfig(256, SimEngine::DECODED,
+                                   TraceCacheMode::On));
+    const SimStats st = sim.run();
+    EXPECT_EQ(st.checksum, cr.goldenChecksum);
+
+    const TraceCacheStats &tc = statsOf(sim);
+    EXPECT_EQ(tc.replays, 0u);
+    EXPECT_GT(tc.bailouts, 0u);
+    EXPECT_EQ(tc.bailoutsBy[static_cast<std::size_t>(
+                  TraceBailoutReason::BelowEngageThreshold)],
+              tc.bailouts);
 }
 
 TEST(TraceCache, EvictionInvalidatesWithoutRebuildStorm)
@@ -239,13 +416,30 @@ TEST(TraceCache, PerLoopReplayNeverExceedsBufferedOps)
         const TraceCacheStats &tc = statsOf(sim);
         ASSERT_EQ(tc.perLoop.size(), st.loops.size()) << w.name;
         std::uint64_t perLoopOps = 0;
+        std::uint64_t perLoopBailouts = 0;
         for (std::size_t i = 0; i < st.loops.size(); ++i) {
             EXPECT_LE(tc.perLoop[i].ops, st.loops[i].opsFromBuffer)
                 << w.name << " loop " << st.loops[i].name;
             perLoopOps += tc.perLoop[i].ops;
+            perLoopBailouts += tc.perLoop[i].bailouts;
         }
         EXPECT_EQ(perLoopOps, tc.replayedOps) << w.name;
         EXPECT_LE(tc.replayedOps, st.opsFromBuffer) << w.name;
+
+        // The bailout attributions integrate back to the headline
+        // counter on both axes — per reason and per loop — and the
+        // defensive Unknown bucket stays empty on every workload.
+        std::uint64_t byReason = 0;
+        for (std::size_t i = 0;
+             i < static_cast<std::size_t>(TraceBailoutReason::Count);
+             ++i)
+            byReason += tc.bailoutsBy[i];
+        EXPECT_EQ(byReason, tc.bailouts) << w.name;
+        EXPECT_EQ(perLoopBailouts, tc.bailouts) << w.name;
+        EXPECT_EQ(tc.bailoutsBy[static_cast<std::size_t>(
+                      TraceBailoutReason::Unknown)],
+                  0u)
+            << w.name;
     }
 }
 

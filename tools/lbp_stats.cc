@@ -13,6 +13,7 @@
  *   lbp_stats history list                 one line per stored record
  *   lbp_stats history check <doc.json>     statistical regression gate
  *   lbp_stats report <workload> [options]  single-file HTML report
+ *   lbp_stats prof <workload> [options]    sampling self-profile
  *   lbp_stats --trace <workload>           alias for `trace`
  *   lbp_stats --version                    git SHA + schema versions
  *
@@ -29,10 +30,15 @@
  *   --history=FILE                   jsonl store (BENCH_history.jsonl)
  *   --source=NAME                    override the record source tag
  *   --window=N --rel=X --abs=X --madk=K   gate thresholds (history.hh)
- *   --sort=ops|gain|evictions        `loops` ranking key: total
+ *   --sort=ops|gain|evictions|bailouts
+ *                                    `loops` ranking key: total
  *                                    dynamic ops (default), realized
  *                                    buffer gain (ops issued from the
- *                                    buffer), or eviction count
+ *                                    buffer), eviction count, or
+ *                                    trace-cache bailout count
+ *   --hz=N --reps=N                  `prof` sampling rate / workload
+ *                                    repetitions (reps=0 sizes the
+ *                                    run for a stable sample count)
  *   --verbose                        `history check` prints every key
  *
  * `trace` cross-checks the trace against the registry before writing:
@@ -62,6 +68,7 @@
 #include "obs/history.hh"
 #include "obs/json.hh"
 #include "obs/loop_report.hh"
+#include "obs/prof.hh"
 #include "obs/publish.hh"
 #include "obs/registry.hh"
 #include "obs/report.hh"
@@ -93,6 +100,8 @@ struct Options
     std::string source;
     obs::CheckPolicy policy;
     std::string sort = "ops";
+    unsigned hz = obs::prof::kDefaultHz;
+    int reps = 0;  ///< prof repetitions; 0 = auto (sample target)
     bool verbose = false;
 };
 
@@ -115,6 +124,9 @@ usage()
         << "                 [--madk=K] [--json=F] [--verbose]\n"
         << "       lbp_stats report <workload> [--out=F] [--history=F]\n"
         << "                 [--level=L] [--buffer=N] [--engine=E]\n"
+        << "       lbp_stats prof <workload> [--hz=N] [--reps=N]\n"
+        << "                 [--out=F] [--level=L] [--buffer=N]\n"
+        << "                 [--engine=E] [--json=F]\n"
         << "       lbp_stats list\n"
         << "       lbp_stats --version\n"
         << "\nworkloads:\n";
@@ -192,11 +204,19 @@ parseArgs(int argc, char **argv, Options &o)
         } else if (const char *v15 = val("--sort")) {
             o.sort = v15;
             if (o.sort != "ops" && o.sort != "gain" &&
-                o.sort != "evictions") {
+                o.sort != "evictions" && o.sort != "bailouts") {
                 std::cerr << "unknown sort key '" << o.sort
-                          << "' (ops|gain|evictions)\n";
+                          << "' (ops|gain|evictions|bailouts)\n";
                 return false;
             }
+        } else if (const char *v16 = val("--hz")) {
+            o.hz = static_cast<unsigned>(std::atoi(v16));
+            if (o.hz == 0)
+                o.hz = 1;
+        } else if (const char *v17 = val("--reps")) {
+            o.reps = std::atoi(v17);
+            if (o.reps < 1)
+                o.reps = 1;
         } else if (arg == "--verbose") {
             o.verbose = true;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -517,16 +537,18 @@ cmdLoops(const Options &o)
 
     // Re-rank on request; the default build order is dynOps.
     if (o.sort != "ops") {
-        const bool gain = o.sort == "gain";
+        auto key = [&](const obs::ScorecardRow &r) {
+            if (o.sort == "gain")
+                return r.opsFromBuffer;
+            if (o.sort == "bailouts")
+                return r.bailouts;
+            return r.evictions;
+        };
         std::stable_sort(
             sc.rows.begin(), sc.rows.end(),
-            [gain](const obs::ScorecardRow &a,
+            [&key](const obs::ScorecardRow &a,
                    const obs::ScorecardRow &b) {
-                const std::uint64_t ka =
-                    gain ? a.opsFromBuffer : a.evictions;
-                const std::uint64_t kb =
-                    gain ? b.opsFromBuffer : b.evictions;
-                return ka > kb;
+                return key(a) > key(b);
             });
     }
     obs::publishScorecard(reg, sc);
@@ -619,12 +641,38 @@ cmdHistory(const Options &o)
     return usage();
 }
 
+/** Core of the self-profile snapshot as report/dump JSON. */
+obs::Json
+profSnapshotJson(const obs::prof::Snapshot &snap)
+{
+    obs::Json doc = obs::Json::object();
+    doc.set("samples", obs::Json::uinteger(snap.samples));
+    doc.set("dropped", obs::Json::uinteger(snap.dropped));
+    doc.set("untracked", obs::Json::uinteger(snap.untracked));
+    doc.set("attributed_fraction",
+            obs::Json::number(snap.attributedFraction()));
+    obs::Json regions = obs::Json::object();
+    for (const auto &rc : snap.regions)
+        regions.set(rc.label, obs::Json::uinteger(rc.count));
+    doc.set("regions", regions);
+    return doc;
+}
+
 int
 cmdReport(const Options &o)
 {
     if (o.positional.size() != 1)
         return usage();
     const std::string &name = o.positional[0];
+
+    // Self-profile the report's own workload run so the "where the
+    // host cycles go" section describes exactly the run whose
+    // counters fill the rest of the document. Best-effort: when the
+    // profiler is compiled out or the timer cannot be armed the
+    // section degrades to its placeholder.
+    obs::prof::Profiler &prof = obs::prof::Profiler::instance();
+    const bool profiling =
+        obs::prof::compiledIn() && prof.start(o.hz);
 
     obs::Registry reg;
     CompileResult cr;
@@ -639,6 +687,10 @@ cmdReport(const Options &o)
     data.workload = name;
     data.registryDoc = reg.toJson();
     data.scorecard = obs::scorecardToJson(sc);
+    if (profiling) {
+        prof.stop();
+        data.prof = profSnapshotJson(prof.snapshot());
+    }
 
     std::string error;
     data.history = obs::loadHistory(o.historyPath, error);
@@ -673,6 +725,127 @@ cmdReport(const Options &o)
     return 0;
 }
 
+/**
+ * Run the workload under the sampling self-profiler and print where
+ * the host cycles went, by region. The workload is compiled and
+ * simulated repeatedly (--reps, or until the sample count is stable
+ * enough to rank regions) so even --quick workloads accumulate
+ * statistics at the default ~1 kHz rate. Attribution is checked
+ * against the samples the handler could not tag: the tool reports
+ * the attributed fraction and exits nonzero only on harness errors,
+ * never on attribution quality (CI smoke asserts the fraction
+ * separately where the environment is controlled).
+ */
+int
+cmdProf(const Options &o)
+{
+    if (o.positional.size() != 1)
+        return usage();
+    const std::string &name = o.positional[0];
+
+    if (!obs::prof::compiledIn()) {
+        std::cerr << "lbp_stats prof: profiler compiled out "
+                     "(built with -DLBP_PROF=OFF)\n";
+        return 1;
+    }
+
+    obs::prof::Profiler &prof = obs::prof::Profiler::instance();
+    if (!prof.start(o.hz)) {
+        std::cerr << "lbp_stats prof: cannot arm the sampling "
+                     "timer on this system\n";
+        return 1;
+    }
+
+    // Repeat the full pipeline — build, compile, decode, simulate —
+    // so every region has a chance to be sampled. reps=0 sizes the
+    // run adaptively: stop once we hold enough samples to rank
+    // regions meaningfully, with a hard cap so pathological clocks
+    // cannot hang the tool.
+    constexpr std::uint64_t kTargetSamples = 400;
+    constexpr int kMaxAutoReps = 300;
+    int reps = 0;
+    for (;;) {
+        ++reps;
+        obs::Registry reg;
+        CompileResult cr;
+        runWorkload(o, name, reg, nullptr, cr);
+        if (o.reps > 0) {
+            if (reps >= o.reps)
+                break;
+        } else if (reps >= kMaxAutoReps ||
+                   prof.snapshot().samples >= kTargetSamples) {
+            break;
+        }
+    }
+    prof.stop();
+    const obs::prof::Snapshot snap = prof.snapshot();
+
+    std::cout << "workload:            " << name << "\n"
+              << "repetitions:         " << reps << "\n"
+              << "sampling rate:       " << o.hz << " Hz\n"
+              << "samples:             " << snap.samples << "\n"
+              << "samples dropped:     " << snap.dropped << "\n"
+              << "samples untracked:   " << snap.untracked << "\n";
+    char frac[32];
+    std::snprintf(frac, sizeof(frac), "%.1f%%",
+                  100.0 * snap.attributedFraction());
+    std::cout << "attributed:          " << frac << "\n\n";
+
+    std::cout << "  region                       samples   share\n";
+    for (const auto &rc : snap.regions) {
+        char share[32];
+        std::snprintf(share, sizeof(share), "%5.1f%%",
+                      snap.samples
+                          ? 100.0 * static_cast<double>(rc.count) /
+                                static_cast<double>(snap.samples)
+                          : 0.0);
+        std::cout << "  " << rc.label
+                  << std::string(rc.label.size() < 28
+                                     ? 28 - rc.label.size()
+                                     : 1,
+                                 ' ')
+                  << std::string(rc.count < 10        ? 6
+                                 : rc.count < 100     ? 5
+                                 : rc.count < 1000    ? 4
+                                 : rc.count < 10000   ? 3
+                                 : rc.count < 100000  ? 2
+                                 : rc.count < 1000000 ? 1
+                                                      : 0,
+                                 ' ')
+                  << rc.count << "   " << share << "\n";
+    }
+
+    if (!o.outPath.empty()) {
+        if (!writeFile(o.outPath, [&](std::ostream &os) {
+                os << obs::prof::collapsedStacks(snap);
+            }))
+            return 1;
+        std::cout << "\ncollapsed stacks: " << o.outPath
+                  << " (feed to flamegraph.pl / speedscope)\n";
+    }
+    if (!o.jsonPath.empty()) {
+        obs::Json doc = profSnapshotJson(snap);
+        doc.set("workload", obs::Json::str(name));
+        doc.set("hz", obs::Json::uinteger(o.hz));
+        doc.set("reps", obs::Json::integer(reps));
+        obs::Json paths = obs::Json::array();
+        for (const auto &pc : snap.paths) {
+            obs::Json p = obs::Json::object();
+            p.set("path", obs::Json::str(pc.label));
+            p.set("samples", obs::Json::uinteger(pc.count));
+            paths.push(p);
+        }
+        doc.set("paths", paths);
+        if (!writeFile(o.jsonPath, [&](std::ostream &os) {
+                doc.write(os);
+                os << "\n";
+            }))
+            return 1;
+        std::cout << "profile dump: " << o.jsonPath << "\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -697,6 +870,8 @@ main(int argc, char **argv)
         return cmdHistory(o);
     if (o.command == "report")
         return cmdReport(o);
+    if (o.command == "prof")
+        return cmdProf(o);
     if (o.command == "list")
         return cmdList();
     return usage();
