@@ -74,7 +74,8 @@ compileBench(const std::string &name, OptLevel level, PredMode mode)
 
 SimStats
 simulate(CompileResult &cr, int bufferOps, PredMode mode,
-         SimEngine engine, TraceCacheStats *tcOut)
+         SimEngine engine, TraceCacheStats *tcOut,
+         obs::CycleStack *csOut)
 {
     reallocateBuffers(cr, bufferOps);
     SimConfig sc;
@@ -88,12 +89,15 @@ simulate(CompileResult &cr, int bufferOps, PredMode mode,
     if (tcOut)
         if (const TraceCacheStats *tc = sim.traceCacheStats())
             accumulateTraceCacheStats(*tcOut, *tc);
+    if (csOut)
+        *csOut = sim.cycleStack();
     return st;
 }
 
 SimStats
 simulateShared(CompileResult &cr, DecodedImage &img, int bufferOps,
-               PredMode mode, TraceCacheStats *tcOut)
+               PredMode mode, TraceCacheStats *tcOut,
+               obs::CycleStack *csOut)
 {
     reallocateBuffers(cr, bufferOps);
     rebindBufferAddresses(img, cr.code);
@@ -108,6 +112,8 @@ simulateShared(CompileResult &cr, DecodedImage &img, int bufferOps,
     if (tcOut)
         if (const TraceCacheStats *tc = sim.traceCacheStats())
             accumulateTraceCacheStats(*tcOut, *tc);
+    if (csOut)
+        *csOut = sim.cycleStack();
     return st;
 }
 
@@ -118,6 +124,21 @@ benchNames()
     for (const auto &w : workloads::allWorkloads())
         names.push_back(w.name);
     return names;
+}
+
+obs::Json
+cycleStackJson(const obs::CycleRow &row)
+{
+    using obs::Json;
+    Json j = Json::object();
+    std::uint64_t total = 0;
+    for (std::size_t k = 0; k < obs::kNumCycleClasses; ++k) {
+        j.set(obs::cycleClassName(static_cast<obs::CycleClass>(k)),
+              Json::uinteger(row[k]));
+        total += row[k];
+    }
+    j.set("total", Json::uinteger(total));
+    return j;
 }
 
 void
@@ -199,12 +220,13 @@ dumpLoopScorecard(const std::string &workload, OptLevel level,
 {
     CompileResult &cr = compileBench(workload, level);
     TraceCacheStats tc;
+    obs::CycleStack cs;
     const SimStats st =
         simulate(cr, bufferOps, PredMode::SLOT, SimEngine::DECODED,
-                 &tc);
+                 &tc, &cs);
     const FetchEnergy fe = computeFetchEnergy(st, bufferOps);
     const obs::LoopScorecard sc = obs::buildLoopScorecard(
-        workload, cr.loopLog, st, bufferOps, &fe, &tc);
+        workload, cr.loopLog, st, bufferOps, &fe, &tc, &cs);
     obs::printScorecard(std::cout, sc);
 }
 

@@ -13,6 +13,7 @@
 
 #include "core/compiler.hh"
 #include "core/metrics.hh"
+#include "obs/cycle_stack.hh"
 #include "obs/json.hh"
 #include "power/fetch_energy.hh"
 #include "sim/trace_cache.hh"
@@ -48,12 +49,14 @@ CompileResult &compileBench(const std::string &name, OptLevel level,
  * given and the run had a trace cache, the run's TraceCacheStats are
  * accumulated into it (accumulateTraceCacheStats — pass a freshly
  * zeroed struct for a per-run copy, reuse one across a sweep for the
- * aggregate); it is left untouched otherwise.
+ * aggregate); it is left untouched otherwise. @p csOut, when given,
+ * receives the run's closed per-loop cycle stack.
  */
 SimStats simulate(CompileResult &cr, int bufferOps,
                   PredMode mode = PredMode::SLOT,
                   SimEngine engine = SimEngine::DECODED,
-                  TraceCacheStats *tcOut = nullptr);
+                  TraceCacheStats *tcOut = nullptr,
+                  obs::CycleStack *csOut = nullptr);
 
 /**
  * Batched-sweep variant of simulate: run the decoded engine over a
@@ -66,10 +69,20 @@ SimStats simulate(CompileResult &cr, int bufferOps,
  */
 SimStats simulateShared(CompileResult &cr, DecodedImage &img,
                         int bufferOps, PredMode mode = PredMode::SLOT,
-                        TraceCacheStats *tcOut = nullptr);
+                        TraceCacheStats *tcOut = nullptr,
+                        obs::CycleStack *csOut = nullptr);
 
 /** The Table-1 benchmark names. */
 std::vector<std::string> benchNames();
+
+/**
+ * The "cycle_stack" block shared by every cycle-accounting bench
+ * document (schema v4): one key per obs::CycleClass in enum order,
+ * zeros included, plus "total" — their sum, equal to the simulated
+ * cycles the block accounts for. All counters, held exactly by the
+ * history gate.
+ */
+obs::Json cycleStackJson(const obs::CycleRow &row);
 
 /** Print a horizontal rule. */
 void rule(char c = '-', int n = 78);

@@ -94,7 +94,7 @@ void
 writeJson(const std::string &path, const std::string &historyPath,
           const std::vector<Series> &trad,
           const std::vector<Series> &aggr, double headlineTrad,
-          double headlineAggr)
+          double headlineAggr, const obs::CycleRow &cycles)
 {
     using obs::Json;
     Json doc = benchJsonDoc("fig7");
@@ -131,6 +131,10 @@ writeJson(const std::string &path, const std::string &historyPath,
                                   headlineTrad));
     }
     doc.set("headline", std::move(headline));
+
+    // Closed cycle accounting at the headline configuration
+    // (aggressive, 256-op buffer), summed over every workload.
+    doc.set("cycle_stack", cycleStackJson(cycles));
 
     writeBenchJson(path, doc);
     if (!historyPath.empty())
@@ -201,7 +205,20 @@ main(int argc, char **argv)
         dumpLoopScorecards(OptLevel::Aggressive, 256);
     }
     // --history implies the JSON emission it snapshots.
-    if (json || !historyPath.empty())
-        writeJson(jsonPath, historyPath, trad, aggr, t, a);
+    if (json || !historyPath.empty()) {
+        // Where the headline configuration's cycles go: one extra
+        // run per workload at (aggressive, 256), stacks summed.
+        obs::CycleRow cycles{};
+        for (const auto &name : benchNames()) {
+            auto &cr = compileBench(name, OptLevel::Aggressive);
+            obs::CycleStack cs;
+            simulate(cr, 256, PredMode::SLOT, SimEngine::DECODED,
+                     nullptr, &cs);
+            const obs::CycleRow row = cs.totals();
+            for (std::size_t k = 0; k < obs::kNumCycleClasses; ++k)
+                cycles[k] += row[k];
+        }
+        writeJson(jsonPath, historyPath, trad, aggr, t, a, cycles);
+    }
     return 0;
 }

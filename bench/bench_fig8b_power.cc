@@ -82,11 +82,17 @@ main(int argc, char **argv)
     std::vector<Row> rows;
     double sumBase = 0, sumTrans = 0;
     int n = 0;
+    obs::CycleRow cycles{}; // transformed-buffered runs, summed
     for (const auto &name : benchNames()) {
         auto &trad = compileBench(name, OptLevel::Traditional);
         auto &aggr = compileBench(name, OptLevel::Aggressive);
         const SimStats st = simulate(trad, 256);
-        const SimStats sa = simulate(aggr, 256);
+        obs::CycleStack cs;
+        const SimStats sa = simulate(aggr, 256, PredMode::SLOT,
+                                     SimEngine::DECODED, nullptr, &cs);
+        const obs::CycleRow row = cs.totals();
+        for (std::size_t k = 0; k < obs::kNumCycleClasses; ++k)
+            cycles[k] += row[k];
 
         const double unbuffered =
             unbufferedEnergyNj(st.opsFetched, model);
@@ -141,6 +147,10 @@ main(int argc, char **argv)
         avg.set("baseBuffered", Json::number(avgBase));
         avg.set("transformed", Json::number(avgTrans));
         doc.set("average", std::move(avg));
+
+        // Closed cycle accounting of the transformed-buffered runs
+        // (aggressive, 256-op buffer), summed over every workload.
+        doc.set("cycle_stack", cycleStackJson(cycles));
 
         writeBenchJson(jsonPath, doc);
         if (!historyPath.empty())

@@ -132,6 +132,7 @@ runReferencePoint(const SweepTask &t, SweepPoint &p)
 struct TaskAgg
 {
     TraceCacheStats tc;
+    obs::CycleRow cycles{};
     std::uint64_t opsFromBuffer = 0;
 };
 
@@ -147,11 +148,16 @@ runFastTask(const SweepTask &t, std::vector<SweepPoint> &points,
     DecodedImage img = buildDecodedImage(cr.code);
     for (int i = 0; i < nSizes; ++i) {
         SweepPoint &p = points[t.firstPoint + i];
+        obs::CycleStack cs;
         const auto t0 = Clock::now();
         const SimStats st =
-            simulateShared(cr, img, p.bufferOps, t.mode, &agg.tc);
+            simulateShared(cr, img, p.bufferOps, t.mode, &agg.tc,
+                           &cs);
         p.fastMs = msSince(t0);
         agg.opsFromBuffer += st.opsFromBuffer;
+        const obs::CycleRow row = cs.totals();
+        for (std::size_t k = 0; k < obs::kNumCycleClasses; ++k)
+            agg.cycles[k] += row[k];
         LBP_ASSERT(st.cycles == p.cycles &&
                        st.checksum == p.checksum,
                    "decoded engine diverged from reference for ",
@@ -167,7 +173,8 @@ writeJson(const std::string &path, const std::string &historyPath,
           const std::vector<SweepPoint> &points, double refWallMs,
           double fastWallMs, double refSimMs, double fastSimMs,
           int threads, bool quick, const TraceCacheStats &tc,
-          std::uint64_t fastOpsFromBuffer)
+          std::uint64_t fastOpsFromBuffer,
+          const obs::CycleRow &cycles)
 {
     using obs::Json;
 
@@ -238,6 +245,11 @@ writeJson(const std::string &path, const std::string &historyPath,
                  Json::uinteger(tc.bailoutsBy[i]));
     tcj.set("bailout", bail);
     doc.set("trace_cache", tcj);
+
+    // Closed cycle accounting over every fast-pass point: the
+    // per-class split of the sweep's total simulated cycles
+    // (decoded engine, trace cache on).
+    doc.set("cycle_stack", cycleStackJson(cycles));
 
     Json pts = Json::array();
     for (const SweepPoint &p : points) {
@@ -405,10 +417,26 @@ main(int argc, char **argv)
     const double fastWallMs = msSince(fast0);
 
     TraceCacheStats tcTotal;
+    obs::CycleRow cycleTotal{};
     std::uint64_t fastOpsFromBuffer = 0;
     for (const TaskAgg &a : aggs) {
         accumulateTraceCacheStats(tcTotal, a.tc);
+        for (std::size_t k = 0; k < obs::kNumCycleClasses; ++k)
+            cycleTotal[k] += a.cycles[k];
         fastOpsFromBuffer += a.opsFromBuffer;
+    }
+    // The stack must close over the whole sweep: every fast-pass
+    // point's cycles attributed to exactly one class.
+    {
+        std::uint64_t stackSum = 0, cycleSum = 0;
+        for (std::uint64_t c : cycleTotal)
+            stackSum += c;
+        for (const auto &p : points)
+            cycleSum += p.cycles;
+        LBP_ASSERT(stackSum == cycleSum,
+                   "cycle stack not closed over the sweep: ",
+                   stackSum, " attributed vs ", cycleSum,
+                   " simulated");
     }
 
     double fastSimMs = 0;
@@ -470,6 +498,6 @@ main(int argc, char **argv)
         writeJson(jsonPath, historyPath, names, sizes, tasks, points,
                   refWallMs, fastWallMs, refSimMs, fastSimMs,
                   pool.threadCount(), quick, tcTotal,
-                  fastOpsFromBuffer);
+                  fastOpsFromBuffer, cycleTotal);
     return 0;
 }

@@ -13,7 +13,10 @@
 # self-profiler's signal-handler-vs-marker concurrency through
 # tests/test_obs_prof.cc, which rides the obs label in both sanitizer
 # builds; the live-sampling case is additionally run by name so a
-# filter change cannot silently drop it). Finishes with the bench
+# filter change cannot silently drop it, and so is the closed
+# cycle-accounting invariant — every simulated cycle in exactly one
+# CycleClass, both engines, trace cache on and off). Finishes with the
+# bench
 # regression gate: re-runs the figure benches and diffs their JSON
 # against the checked-in BENCH_*.json baselines — counters exact,
 # timings and the machine block tolerated (lbp_stats diff policy).
@@ -79,6 +82,13 @@ LBP_SIM_NO_TRACE_CACHE=1 \
 "$SAN_BUILD"/tests/lbp_obs_tests \
     --gtest_filter='ObsProf.ConcurrentThreadsSampleIndependently:ObsProf.SamplesAttributeToInnermostRegion' \
     --gtest_brief=1
+# Cycle-accounting invariant under ASan, by name: every simulated
+# cycle in exactly one class, per-loop rows integrating to the
+# workload stack, on every workload in both engines with the trace
+# cache forced on and off.
+"$SAN_BUILD"/tests/lbp_obs_tests \
+    --gtest_filter='LoopScorecard.AttributionInvariantBothEnginesAllWorkloads:CycleStack.*' \
+    --gtest_brief=1
 "$SAN_BUILD"/tools/lbp_stats trace adpcm_dec \
     --out="$SAN_BUILD"/adpcm_dec.trace.json
 "$SAN_BUILD"/tools/lbp_stats run adpcm_dec \
@@ -86,6 +96,11 @@ LBP_SIM_NO_TRACE_CACHE=1 \
 "$SAN_BUILD"/tools/lbp_stats diff \
     "$SAN_BUILD"/adpcm_dec.stats.json \
     "$SAN_BUILD"/adpcm_dec.stats.json
+# The cycle-delta decomposer's recursive document walk, sanitized
+# (self-explain: identical stacks, exit 0).
+"$SAN_BUILD"/tools/lbp_stats explain \
+    "$SAN_BUILD"/adpcm_dec.stats.json \
+    "$SAN_BUILD"/adpcm_dec.stats.json >/dev/null
 
 # TSan pass: the thread pool plus concurrent obs-registry updates
 # (tests/test_obs_concurrency.cc) are the only intentionally
@@ -100,6 +115,11 @@ ctest --test-dir "$TSAN_BUILD" --output-on-failure -L obs
 # Profiler under TSan, by name (same cases as the ASan leg).
 "$TSAN_BUILD"/tests/lbp_obs_tests \
     --gtest_filter='ObsProf.ConcurrentThreadsSampleIndependently:ObsProf.SamplesAttributeToInnermostRegion' \
+    --gtest_brief=1
+# Cycle-accounting invariant under TSan, by name (same case as the
+# ASan leg).
+"$TSAN_BUILD"/tests/lbp_obs_tests \
+    --gtest_filter='LoopScorecard.AttributionInvariantBothEnginesAllWorkloads:CycleStack.*' \
     --gtest_brief=1
 
 # Bench regression gate: figure results must match the checked-in

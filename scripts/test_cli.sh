@@ -18,6 +18,17 @@
 #                 (exit 0), fails an injected timing slowdown with
 #                 REGRESSED naming the key, and fails a mutated
 #                 counter with EXACT-MISMATCH (both exit 1).
+#   cycles_golden `loops --cycles` appends the per-loop cycle stack
+#                 (counters only, fully deterministic) and matches the
+#                 golden verbatim.
+#   explain_delta `explain` between a trace-cache-off and a
+#                 trace-cache-on dump of the same workload reports a
+#                 zero total cycle delta with the issue split moving
+#                 into issueFromTraceReplay; self-explain reports
+#                 identical stacks.
+#   history_prune `history prune --keep=N` drops all but the newest N
+#                 records per source; keep < 1 is a usage error
+#                 (exit 2).
 #   report_golden `report` writes one self-contained HTML file: every
 #                 section anchor present, inline SVG sparklines, and
 #                 no external fetches (no http/https URLs at all).
@@ -58,6 +69,66 @@ case "$CASE" in
         || fail "lbp_stats loops exited nonzero"
     diff -u "$GOLDEN_DIR/lbp_stats_loops_adpcm_enc.txt" \
         "$TMP/loops.txt" || fail "loops scorecard diverged from golden"
+    ;;
+
+  cycles_golden)
+    "$LBP_STATS" loops adpcm_enc --buffer=256 --cycles \
+        > "$TMP/cycles.txt" \
+        || fail "lbp_stats loops --cycles exited nonzero"
+    diff -u "$GOLDEN_DIR/lbp_stats_loops_cycles_adpcm_enc.txt" \
+        "$TMP/cycles.txt" || fail "cycle stack diverged from golden"
+    ;;
+
+  explain_delta)
+    # The same workload with the trace cache off vs on: identical
+    # cycles (the engines are pinned), but the issue split moves into
+    # the replay class — exactly the movement `explain` exists to
+    # decompose.
+    LBP_SIM_NO_TRACE_CACHE=1 "$LBP_STATS" run adpcm_dec --buffer=256 \
+        --json="$TMP/off.json" > /dev/null \
+        || fail "lbp_stats run (cache off) exited nonzero"
+    "$LBP_STATS" run adpcm_dec --buffer=256 --json="$TMP/on.json" \
+        > /dev/null || fail "lbp_stats run (cache on) exited nonzero"
+
+    "$LBP_STATS" explain "$TMP/off.json" "$TMP/on.json" \
+        > "$TMP/explain.txt" || fail "explain exited nonzero"
+    grep -q 'cycle delta:' "$TMP/explain.txt" \
+        || fail "explain should print the delta header"
+    grep -q '(+0)$' "$TMP/explain.txt" \
+        || fail "total cycle delta between the runs should be +0"
+    grep -q 'issueFromTraceReplay' "$TMP/explain.txt" \
+        || fail "explain should show cycles moving into replay"
+
+    "$LBP_STATS" explain "$TMP/on.json" "$TMP/on.json" \
+        > "$TMP/same.txt" || fail "self-explain exited nonzero"
+    grep -q 'stacks are identical' "$TMP/same.txt" \
+        || fail "self-explain should report identical stacks"
+    ;;
+
+  history_prune)
+    H=$TMP/h.jsonl
+    "$LBP_STATS" run adpcm_dec --buffer=256 --json="$TMP/a.json" \
+        > /dev/null || fail "lbp_stats run --json exited nonzero"
+    for i in 1 2 3; do
+        "$LBP_STATS" history append "$TMP/a.json" --history="$H" \
+            > /dev/null || fail "history append ($i) exited nonzero"
+    done
+    "$LBP_STATS" history prune --keep=1 --history="$H" \
+        > "$TMP/prune.txt" || fail "history prune exited nonzero"
+    grep -q 'pruned 2 record(s)' "$TMP/prune.txt" \
+        || fail "prune should report dropping 2 of 3 records"
+    "$LBP_STATS" history list --history="$H" > "$TMP/list.txt" \
+        || fail "history list exited nonzero"
+    grep -q '1 record(s)' "$TMP/list.txt" \
+        || fail "history should hold 1 record after prune"
+    # The survivor is the newest record, so the gate still passes.
+    "$LBP_STATS" history check "$TMP/a.json" --history="$H" \
+        > /dev/null || fail "check should pass against the survivor"
+
+    "$LBP_STATS" history prune --keep=0 --history="$H" \
+        > /dev/null 2> "$TMP/err.txt"
+    rc=$?
+    [ $rc -eq 2 ] || fail "prune --keep=0 exited $rc, want 2"
     ;;
 
   diff_exit)
@@ -143,7 +214,7 @@ case "$CASE" in
     [ -s "$TMP/r.html" ] || fail "report wrote no output"
 
     for anchor in meta gate trajectories metrics histograms \
-                  scorecard phases prof; do
+                  scorecard cycles phases prof; do
         grep -q "id=\"$anchor\"" "$TMP/r.html" \
             || fail "report is missing section #$anchor"
     done

@@ -262,6 +262,9 @@ compileProgram(const Program &input, const CompileOptions &opts,
                         ++out.moduloLoops;
                         a.applied = true;
                         a.opsAfter = sb.imageOps();
+                        a.ii = sb.ii;
+                        a.resMII = mres.resMII;
+                        a.recMII = mres.recMII;
                         a.note = "II " + std::to_string(sb.ii) +
                                  " (res " +
                                  std::to_string(mres.resMII) +

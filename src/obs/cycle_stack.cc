@@ -1,0 +1,103 @@
+#include "obs/cycle_stack.hh"
+
+#include <algorithm>
+
+namespace lbp
+{
+namespace obs
+{
+
+const char *
+cycleClassName(CycleClass c)
+{
+    switch (c) {
+      case CycleClass::IssueFromMemory: return "issueFromMemory";
+      case CycleClass::IssueFromBuffer: return "issueFromBuffer";
+      case CycleClass::IssueFromTraceReplay:
+        return "issueFromTraceReplay";
+      case CycleClass::TakenBranchPenalty:
+        return "takenBranchPenalty";
+      case CycleClass::CallReturnPenalty:
+        return "callReturnPenalty";
+      case CycleClass::WhileExitPenalty: return "whileExitPenalty";
+      case CycleClass::LoopControlOverhead:
+        return "loopControlOverhead";
+      case CycleClass::SchedulerSlack: return "schedulerSlack";
+      case CycleClass::Count: break;
+    }
+    return "?";
+}
+
+void
+CycleStack::unchargeIssue(int loopRow, std::uint64_t n)
+{
+    CycleRow &r = rows_[static_cast<std::size_t>(loopRow + 1)];
+    static constexpr CycleClass kDrainOrder[] = {
+        CycleClass::IssueFromTraceReplay,
+        CycleClass::IssueFromBuffer,
+        CycleClass::IssueFromMemory,
+    };
+    for (CycleClass c : kDrainOrder) {
+        std::uint64_t &cell = r[static_cast<std::size_t>(c)];
+        const std::uint64_t take = std::min(cell, n);
+        cell -= take;
+        n -= take;
+        if (n == 0)
+            return;
+    }
+}
+
+void
+CycleStack::reclassifySlack(int loopRow, std::uint64_t n)
+{
+    CycleRow &r = rows_[static_cast<std::size_t>(loopRow + 1)];
+    static constexpr CycleClass kDrainOrder[] = {
+        CycleClass::IssueFromTraceReplay,
+        CycleClass::IssueFromBuffer,
+    };
+    for (CycleClass c : kDrainOrder) {
+        std::uint64_t &cell = r[static_cast<std::size_t>(c)];
+        const std::uint64_t take = std::min(cell, n);
+        cell -= take;
+        n -= take;
+        r[static_cast<std::size_t>(CycleClass::SchedulerSlack)] +=
+            take;
+        if (n == 0)
+            return;
+    }
+}
+
+CycleRow
+CycleStack::totals() const
+{
+    CycleRow t{};
+    for (const CycleRow &r : rows_)
+        for (std::size_t c = 0; c < kNumCycleClasses; ++c)
+            t[c] += r[c];
+    return t;
+}
+
+std::uint64_t
+CycleStack::totalCycles() const
+{
+    std::uint64_t sum = 0;
+    for (const CycleRow &r : rows_)
+        for (std::uint64_t v : r)
+            sum += v;
+    return sum;
+}
+
+CycleRow
+CycleStack::collapseReplay(const CycleRow &r)
+{
+    CycleRow out = r;
+    out[static_cast<std::size_t>(CycleClass::IssueFromBuffer)] +=
+        out[static_cast<std::size_t>(
+            CycleClass::IssueFromTraceReplay)];
+    out[static_cast<std::size_t>(CycleClass::IssueFromTraceReplay)] =
+        0;
+    return out;
+}
+
+} // namespace obs
+} // namespace lbp

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <ostream>
 #include <sstream>
 
@@ -283,6 +284,64 @@ loadHistory(const std::string &path, std::string &error)
         out.push_back(std::move(rec));
     }
     return out;
+}
+
+bool
+pruneHistory(const std::string &path, int keep, std::string &error,
+             int *removed)
+{
+    if (removed)
+        *removed = 0;
+    if (keep < 1) {
+        error = "keep must be >= 1, got " + std::to_string(keep);
+        return false;
+    }
+    std::vector<HistoryRecord> recs = loadHistory(path, error);
+    if (!error.empty())
+        return false;
+
+    // Count per source, then keep each record only while its source
+    // still has more than `keep` newer records remaining. One reverse
+    // pass (newest first) makes "newest N" natural.
+    std::map<std::string, int> kept;
+    std::vector<char> keepFlag(recs.size(), 0);
+    for (std::size_t i = recs.size(); i-- > 0;) {
+        if (kept[recs[i].source] < keep) {
+            ++kept[recs[i].source];
+            keepFlag[i] = 1;
+        }
+    }
+
+    // Rewrite atomically: temp file beside the store, then rename.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os) {
+            error = "cannot open '" + tmp + "' for writing";
+            return false;
+        }
+        for (std::size_t i = 0; i < recs.size(); ++i) {
+            if (!keepFlag[i])
+                continue;
+            historyRecordToJson(recs[i]).writeCompact(os);
+            os << "\n";
+        }
+        if (!os.good()) {
+            error = "write to '" + tmp + "' failed";
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        error = "cannot rename '" + tmp + "' over '" + path + "'";
+        return false;
+    }
+    if (removed) {
+        int k = 0;
+        for (char f : keepFlag)
+            k += f;
+        *removed = static_cast<int>(recs.size()) - k;
+    }
+    return true;
 }
 
 /** True if any unescaped '.'-segment of the key is all digits —

@@ -123,6 +123,16 @@ bool appendHistory(const std::string &path, const HistoryRecord &rec,
 std::vector<HistoryRecord> loadHistory(const std::string &path,
                                        std::string &error);
 
+/**
+ * Rewrite @p path keeping only the newest @p keep records per source
+ * (append order is age: later lines are newer). @p removed, when
+ * non-null, receives the number of records dropped. Returns false and
+ * sets @p error on I/O failure, a malformed store, or keep < 1; a
+ * missing file prunes to nothing and succeeds.
+ */
+bool pruneHistory(const std::string &path, int keep,
+                  std::string &error, int *removed = nullptr);
+
 /** How the gate treats one flattened key. */
 enum class KeyClass
 {

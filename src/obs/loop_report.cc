@@ -95,7 +95,7 @@ LoopScorecard
 buildLoopScorecard(const std::string &workload,
                    const LoopDecisionLog &log, const SimStats &stats,
                    int bufferOps, const FetchEnergy *fe,
-                   const TraceCacheStats *tc)
+                   const TraceCacheStats *tc, const CycleStack *cs)
 {
     LoopScorecard sc;
     sc.workload = workload;
@@ -153,6 +153,12 @@ buildLoopScorecard(const std::string &workload,
         row.energyNj =
             static_cast<double>(row.opsFromCache) * memNjPerOp +
             static_cast<double>(row.opsFromBuffer) * bufNjPerOp;
+        if (cs) {
+            row.hasCycles = true;
+            row.cycles = cs->row(static_cast<int>(id));
+            for (std::uint64_t c : row.cycles)
+                row.totalCycles += c;
+        }
         sc.rows.push_back(std::move(row));
     }
 
@@ -202,6 +208,39 @@ buildLoopScorecard(const std::string &workload,
     LBP_ASSERT(scorecardBufferOps(sc) == stats.opsFromBuffer,
                "per-loop buffer-op attribution does not integrate: ",
                scorecardBufferOps(sc), " != ", stats.opsFromBuffer);
+
+    if (cs) {
+        // The closed-sum cycle invariant, checked in both directions:
+        // every simulated cycle is in exactly one class, and per-loop
+        // rows (plus the outside row) integrate to the workload stack.
+        LBP_ASSERT(cs->numRows() == stats.loops.size() + 1,
+                   "cycle stack rows (", cs->numRows(),
+                   ") do not match the loop table (",
+                   stats.loops.size(), " loops)");
+        sc.hasCycles = true;
+        sc.workloadCycles = cs->totals();
+        sc.outsideCycles = cs->row(-1);
+        for (std::uint64_t c : sc.workloadCycles)
+            sc.totalCycles += c;
+        LBP_ASSERT(sc.totalCycles == stats.cycles,
+                   "cycle stack is not closed: sum(classes)=",
+                   sc.totalCycles, " != cycles=", stats.cycles);
+        CycleRow integral = sc.outsideCycles;
+        for (const auto &row : sc.rows) {
+            if (row.loopId < 0)
+                continue;
+            for (std::size_t k = 0; k < kNumCycleClasses; ++k)
+                integral[k] += row.cycles[k];
+        }
+        for (std::size_t k = 0; k < kNumCycleClasses; ++k) {
+            LBP_ASSERT(integral[k] == sc.workloadCycles[k],
+                       "per-loop cycle rows do not integrate for "
+                       "class ",
+                       cycleClassName(static_cast<CycleClass>(k)),
+                       ": ", integral[k],
+                       " != ", sc.workloadCycles[k]);
+        }
+    }
     return sc;
 }
 
@@ -301,6 +340,62 @@ printScorecard(std::ostream &os, const LoopScorecard &sc)
     }
 }
 
+void
+printScorecardCycles(std::ostream &os, const LoopScorecard &sc)
+{
+    if (!sc.hasCycles) {
+        os << "cycle stack: " << sc.workload
+           << "  (no cycle accounting in this run)\n";
+        return;
+    }
+
+    os << "cycle stack: " << sc.workload << "  (" << sc.totalCycles
+       << " cycles)\n";
+
+    std::size_t w = 9;  // "<outside>"
+    for (const auto &row : sc.rows)
+        if (row.loopId >= 0)
+            w = std::max(w, row.name.size());
+
+    os << std::left << std::setw(static_cast<int>(w) + 2) << "loop"
+       << std::right;
+    for (std::size_t k = 0; k < kNumCycleClasses; ++k) {
+        os << std::setw(21)
+           << cycleClassName(static_cast<CycleClass>(k));
+    }
+    os << std::setw(13) << "total\n";
+
+    auto line = [&](const std::string &name, const CycleRow &r) {
+        os << std::left << std::setw(static_cast<int>(w) + 2) << name
+           << std::right;
+        std::uint64_t total = 0;
+        for (std::size_t k = 0; k < kNumCycleClasses; ++k) {
+            os << std::setw(21) << r[k];
+            total += r[k];
+        }
+        os << std::setw(12) << total << "\n";
+    };
+
+    for (const auto &row : sc.rows) {
+        if (row.loopId >= 0)
+            line(row.name, row.cycles);
+    }
+    line("<outside>", sc.outsideCycles);
+    line("<total>", sc.workloadCycles);
+}
+
+/** {"<class>": cycles, ...} with every class present (stable keys). */
+static Json
+cycleRowToJson(const CycleRow &r)
+{
+    Json j = Json::object();
+    for (std::size_t k = 0; k < kNumCycleClasses; ++k) {
+        j.set(cycleClassName(static_cast<CycleClass>(k)),
+              Json::uinteger(r[k]));
+    }
+    return j;
+}
+
 Json
 scorecardToJson(const LoopScorecard &sc)
 {
@@ -334,6 +429,10 @@ scorecardToJson(const LoopScorecard &sc)
         r.set("bailout_reason",
               Json::str(traceBailoutReasonName(row.bailoutReason)));
         r.set("energy_nj", Json::number(row.energyNj));
+        if (row.hasCycles) {
+            r.set("cycle_stack", cycleRowToJson(row.cycles));
+            r.set("total_cycles", Json::uinteger(row.totalCycles));
+        }
         Json attempts = Json::array();
         for (const auto &a : row.attempts) {
             Json aj = Json::object();
@@ -342,6 +441,11 @@ scorecardToJson(const LoopScorecard &sc)
             aj.set("reason", Json::str(loopReasonName(a.reason)));
             aj.set("ops_before", Json::integer(a.opsBefore));
             aj.set("ops_after", Json::integer(a.opsAfter));
+            if (a.ii > 0) {
+                aj.set("ii", Json::integer(a.ii));
+                aj.set("res_mii", Json::integer(a.resMII));
+                aj.set("rec_mii", Json::integer(a.recMII));
+            }
             if (!a.note.empty())
                 aj.set("note", Json::str(a.note));
             attempts.push(std::move(aj));
@@ -350,6 +454,13 @@ scorecardToJson(const LoopScorecard &sc)
         rows.push(std::move(r));
     }
     root.set("loops", std::move(rows));
+    if (sc.hasCycles) {
+        Json cj = Json::object();
+        cj.set("workload", cycleRowToJson(sc.workloadCycles));
+        cj.set("outside", cycleRowToJson(sc.outsideCycles));
+        cj.set("total_cycles", Json::uinteger(sc.totalCycles));
+        root.set("cycle_stack", std::move(cj));
+    }
     return root;
 }
 
@@ -379,6 +490,15 @@ publishScorecard(Registry &r, const LoopScorecard &sc,
         r.info(p + "bailoutReason",
                traceBailoutReasonName(row.bailoutReason));
         r.gauge(p + "energyNj").set(row.energyNj);
+        if (row.hasCycles) {
+            r.counter(p + "cycles").set(row.totalCycles);
+            for (std::size_t k = 0; k < kNumCycleClasses; ++k) {
+                r.counter(p + "cycles." +
+                          cycleClassName(
+                              static_cast<CycleClass>(k)))
+                    .set(row.cycles[k]);
+            }
+        }
     }
 }
 

@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/cycle_stack.hh"
 #include "obs/json.hh"
 
 namespace lbp
@@ -104,6 +105,12 @@ struct LoopAttempt
     LoopReason reason = LoopReason::None;  ///< when !applied
     int opsBefore = 0;      ///< loop body ops before the transform
     int opsAfter = 0;       ///< and after (== opsBefore when skipped)
+    // Modulo-schedule outcome (transform == "modulo", applied):
+    // achieved II and its lower bounds, so the scheduler-slack cycle
+    // class can be cross-checked against the decision log.
+    int ii = 0;
+    int resMII = 0;
+    int recMII = 0;
     std::string note;       ///< free-form detail ("ii=3", trip count)
 };
 
@@ -197,6 +204,16 @@ struct ScorecardRow
     TraceBailoutReason bailoutReason{};  ///< zero-init == None
 
     double energyNj = 0.0;  ///< fetch-energy share of this loop
+
+    /**
+     * This loop's cycle stack (simulator loops only, when the run
+     * carried a CycleStack). Sums with every other row plus the
+     * scorecard's outside row to the workload stack.
+     */
+    bool hasCycles = false;
+    CycleRow cycles{};
+    std::uint64_t totalCycles = 0;  ///< sum of cycles[]
+
     std::vector<LoopAttempt> attempts;
 };
 
@@ -208,6 +225,12 @@ struct LoopScorecard
     std::uint64_t totalOpsFetched = 0;
     std::uint64_t totalOpsFromBuffer = 0;
     std::vector<ScorecardRow> rows;  ///< ranked by dynOps descending
+
+    /** Cycle accounting (present when the run carried a CycleStack). */
+    bool hasCycles = false;
+    CycleRow workloadCycles{};  ///< per-class totals == SimStats::cycles
+    CycleRow outsideCycles{};   ///< the outside-any-loop row
+    std::uint64_t totalCycles = 0;  ///< sum of workloadCycles[]
 };
 
 /**
@@ -222,18 +245,32 @@ struct LoopScorecard
  *
  * Fatal (assert) if sum of per-loop buffer ops != stats.opsFromBuffer
  * — the attribution invariant both engines maintain by construction.
+ *
+ * @p cs, when given, copies each dense loop's cycle row onto its
+ * scorecard row and the workload/outside stacks onto the scorecard
+ * (asserting the closed-sum invariant: per-class totals equal
+ * stats.cycles and per-loop rows integrate to the workload stack).
  */
 LoopScorecard buildLoopScorecard(const std::string &workload,
                                  const LoopDecisionLog &log,
                                  const SimStats &stats, int bufferOps,
                                  const FetchEnergy *fe = nullptr,
-                                 const TraceCacheStats *tc = nullptr);
+                                 const TraceCacheStats *tc = nullptr,
+                                 const CycleStack *cs = nullptr);
 
 /** Sum of per-loop buffer-issued ops (the invariant's left side). */
 std::uint64_t scorecardBufferOps(const LoopScorecard &sc);
 
 /** Human-oriented aligned table, one row per loop. */
 void printScorecard(std::ostream &os, const LoopScorecard &sc);
+
+/**
+ * "Where the simulated cycles go" table: one row per loop holding a
+ * cycle stack (plus the outside-any-loop row and the workload
+ * totals), one column per CycleClass. No-op with a notice when the
+ * scorecard carries no cycle data.
+ */
+void printScorecardCycles(std::ostream &os, const LoopScorecard &sc);
 
 /** Machine-readable form (ints stay exact through obs::Json). */
 Json scorecardToJson(const LoopScorecard &sc);

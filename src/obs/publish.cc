@@ -107,6 +107,24 @@ publishTraceCacheStats(Registry &r, const TraceCacheStats &s,
 }
 
 void
+publishCycleStack(Registry &r, const CycleStack &cs,
+                  const std::string &prefix)
+{
+    // Every class is published, zeros included, so the bench-diff and
+    // history gates see a stable key set (the trace-cache bailout
+    // split follows the same rule).
+    const CycleRow totals = cs.totals();
+    std::uint64_t sum = 0;
+    for (std::size_t k = 0; k < kNumCycleClasses; ++k) {
+        r.counter(prefix + "." +
+                  cycleClassName(static_cast<CycleClass>(k)))
+            .set(totals[k]);
+        sum += totals[k];
+    }
+    r.counter(prefix + ".total").set(sum);
+}
+
+void
 publishFetchEnergy(Registry &r, const FetchEnergy &e,
                    const std::string &prefix)
 {

@@ -45,6 +45,15 @@ void publishTraceCacheStats(Registry &r, const TraceCacheStats &s,
                             const std::string &prefix
                             = "sim.trace_cache");
 
+/**
+ * Publish the workload-level cycle stack under
+ * "<prefix>.<class>" (one Exact-classed counter per CycleClass,
+ * zeros included so the key set is stable) plus "<prefix>.total".
+ * The closed-sum invariant makes <prefix>.total equal sim.cycles.
+ */
+void publishCycleStack(Registry &r, const CycleStack &cs,
+                       const std::string &prefix = "sim.cycles");
+
 /** Publish one FetchEnergy breakdown under @p prefix. */
 void publishFetchEnergy(Registry &r, const FetchEnergy &e,
                         const std::string &prefix = "power");

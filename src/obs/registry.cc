@@ -194,9 +194,18 @@ Registry::toJson() const
         Json h = Json::object();
         h.set("total", Json::number(kv.second.total()));
         h.set("mean", Json::number(kv.second.mean()));
-        h.set("p50", Json::integer(kv.second.percentile(0.50)));
-        h.set("p95", Json::integer(kv.second.percentile(0.95)));
-        h.set("p99", Json::integer(kv.second.percentile(0.99)));
+        // Percentiles of a never-observed histogram are undefined,
+        // not 0: serialize them as null so the diff gate's
+        // NaN-poison rule flags any consumer that treats them as a
+        // real observation.
+        const bool empty = kv.second.bins().empty();
+        auto pct = [&](double q) {
+            return empty ? Json::null()
+                         : Json::integer(kv.second.percentile(q));
+        };
+        h.set("p50", pct(0.50));
+        h.set("p95", pct(0.95));
+        h.set("p99", pct(0.99));
         Json bins = Json::array();
         for (const auto &bw : kv.second.bins()) {
             Json bin = Json::array();
@@ -226,12 +235,15 @@ Registry::writeCsv(std::ostream &os) const
     for (const auto &kv : gauges_)
         os << "gauge," << kv.first << "," << kv.second.value() << "\n";
     for (const auto &kv : hists_) {
-        os << "histp50," << kv.first << ","
-           << kv.second.percentile(0.50) << "\n";
-        os << "histp95," << kv.first << ","
-           << kv.second.percentile(0.95) << "\n";
-        os << "histp99," << kv.first << ","
-           << kv.second.percentile(0.99) << "\n";
+        // Undefined percentiles render as explicit null, never 0.
+        auto pct = [&](double q) -> std::string {
+            return kv.second.bins().empty()
+                       ? "null"
+                       : std::to_string(kv.second.percentile(q));
+        };
+        os << "histp50," << kv.first << "," << pct(0.50) << "\n";
+        os << "histp95," << kv.first << "," << pct(0.95) << "\n";
+        os << "histp99," << kv.first << "," << pct(0.99) << "\n";
         for (const auto &bw : kv.second.bins())
             os << "histbin," << kv.first << "." << bw.first << ","
                << bw.second << "\n";
@@ -256,11 +268,15 @@ Registry::writeTable(std::ostream &os) const
     }
     for (const auto &kv : hists_) {
         os << kv.first << "  histogram total=" << kv.second.total()
-           << " mean=" << kv.second.mean()
-           << " p50=" << kv.second.percentile(0.50)
-           << " p95=" << kv.second.percentile(0.95)
-           << " p99=" << kv.second.percentile(0.99)
-           << " max=" << kv.second.maxValue() << "\n";
+           << " mean=" << kv.second.mean();
+        if (kv.second.bins().empty()) {
+            os << " p50=null p95=null p99=null";
+        } else {
+            os << " p50=" << kv.second.percentile(0.50)
+               << " p95=" << kv.second.percentile(0.95)
+               << " p99=" << kv.second.percentile(0.99);
+        }
+        os << " max=" << kv.second.maxValue() << "\n";
     }
 }
 

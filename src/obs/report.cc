@@ -201,6 +201,24 @@ td.num, th.num { text-align: right; }
 .barrow .val {
   width: 90px; font-size: 12px; font-variant-numeric: tabular-nums;
 }
+.stack {
+  flex: 1; display: flex; height: 12px; border-radius: 2px;
+  overflow: hidden; background: var(--grid);
+}
+.stack .seg { height: 100%; }
+.legend { font-size: 11px; color: var(--ink2); margin: 6px 0; }
+.legend .sw {
+  display: inline-block; width: 10px; height: 10px;
+  border-radius: 2px; margin: 0 4px 0 10px; vertical-align: middle;
+}
+.cc0 { background: #898781; }
+.cc1 { background: #2a78d6; }
+.cc2 { background: #19b8c4; }
+.cc3 { background: #d03b3b; }
+.cc4 { background: #d07a3b; }
+.cc5 { background: #c43bd0; }
+.cc6 { background: #d0b83b; }
+.cc7 { background: #0ca30c; }
 details > summary { cursor: pointer; color: var(--ink2); }
 footer { color: var(--muted); font-size: 12px; margin: 16px 0; }
 )css";
@@ -395,6 +413,14 @@ writeHistogramsSection(std::ostream &os, const ReportData &d)
             const Json *v = h.find(k);
             return v && v->isNumber() ? v->asDouble() : 0.0;
         };
+        // Percentiles of a never-observed histogram arrive as null
+        // (undefined, not 0) — render them as such.
+        auto pct = [&](const char *k) -> std::string {
+            const Json *v = h.find(k);
+            if (!v || v->kind() == Json::Kind::Null)
+                return "null";
+            return fmt(v->asDouble());
+        };
         os << "<div class=\"card\"><div class=\"k\">"
            << htmlEscape(kv.first) << "</div>";
         if (const Json *bins = h.find("bins")) {
@@ -403,8 +429,8 @@ writeHistogramsSection(std::ostream &os, const ReportData &d)
                 os << "<div class=\"mm\">first " << kMaxBins
                    << " of " << bins->items().size() << " bins</div>";
         }
-        os << "<div class=\"v\">p50 " << fmt(num("p50")) << " &middot; p95 "
-           << fmt(num("p95")) << " &middot; p99 " << fmt(num("p99"))
+        os << "<div class=\"v\">p50 " << pct("p50") << " &middot; p95 "
+           << pct("p95") << " &middot; p99 " << pct("p99")
            << " <span class=\"mm\">mean " << fmt(num("mean"))
            << ", total " << fmt(num("total"))
            << "</span></div></div>";
@@ -500,6 +526,90 @@ writeScorecardSection(std::ostream &os, const ReportData &d)
            << htmlEscape(text("energy_nj")) << "</td></tr>";
     }
     os << "</table></section>\n";
+}
+
+/**
+ * "Where the simulated cycles go": one stacked bar per loop (plus the
+ * outside-any-loop row), segmented by CycleClass, widths scaled to
+ * the workload's total simulated cycles. Data comes from the
+ * scorecard JSON's cycle_stack blocks; a report generated from a run
+ * without cycle accounting renders the placeholder.
+ */
+void
+writeCyclesSection(std::ostream &os, const ReportData &d)
+{
+    const Json *cs = d.scorecard.kind() == Json::Kind::Object
+                         ? d.scorecard.find("cycle_stack")
+                         : nullptr;
+    os << "<section id=\"cycles\"><h2>Where the simulated cycles go"
+          "</h2>";
+    const Json *total = cs ? cs->find("total_cycles") : nullptr;
+    if (!cs || !total || !total->isNumber() ||
+        total->asDouble() <= 0) {
+        os << "<p class=\"muted\">no cycle stack in this document "
+              "(run lacked cycle accounting)</p></section>\n";
+        return;
+    }
+    const double totalCycles = total->asDouble();
+
+    // Class order and names come from the workload stack's key order
+    // (cycleRowToJson emits every class, enum-ordered).
+    const Json *wl = cs->find("workload");
+    std::vector<std::string> classes;
+    if (wl)
+        for (const auto &kv : wl->members())
+            classes.push_back(kv.first);
+
+    os << "<p class=\"muted\">" << fmt(totalCycles)
+       << " simulated cycles, every one in exactly one class</p>";
+    os << "<div class=\"legend\">";
+    for (std::size_t k = 0; k < classes.size(); ++k)
+        os << "<span class=\"sw cc" << k << "\"></span>"
+           << htmlEscape(classes[k]);
+    os << "</div>";
+
+    auto stackedBar = [&](const std::string &label, const Json &row,
+                          double rowTotal) {
+        os << "<div class=\"barrow\"><div class=\"lbl\">"
+           << htmlEscape(label) << "</div><div class=\"stack\">";
+        for (std::size_t k = 0; k < classes.size(); ++k) {
+            const Json *v = row.find(classes[k]);
+            const double c =
+                v && v->isNumber() ? v->asDouble() : 0.0;
+            if (c <= 0)
+                continue;
+            os << "<div class=\"seg cc" << k << "\" style=\"width:"
+               << fmt(100.0 * c / totalCycles) << "%\"><title>"
+               << htmlEscape(classes[k]) << " : " << fmt(c)
+               << "</title></div>";
+        }
+        os << "</div><div class=\"val\">" << fmt(rowTotal) << " ("
+           << fmt(100.0 * rowTotal / totalCycles)
+           << "%)</div></div>";
+    };
+
+    const Json *loops = d.scorecard.find("loops");
+    if (loops) {
+        for (const auto &row : loops->items()) {
+            const Json *rc = row.find("cycle_stack");
+            const Json *rt = row.find("total_cycles");
+            if (!rc || !rt || !rt->isNumber())
+                continue;
+            const Json *name = row.find("name");
+            stackedBar(name && name->kind() == Json::Kind::String
+                           ? name->asString()
+                           : std::string("?"),
+                       *rc, rt->asDouble());
+        }
+    }
+    if (const Json *outside = cs->find("outside")) {
+        double t = 0;
+        for (const auto &kv : outside->members())
+            if (kv.second.isNumber())
+                t += kv.second.asDouble();
+        stackedBar("<outside any loop>", *outside, t);
+    }
+    os << "</section>\n";
 }
 
 void
@@ -653,6 +763,7 @@ writeHtmlReport(std::ostream &os, const ReportData &data)
     writeMetricsSection(os, data);
     writeHistogramsSection(os, data);
     writeScorecardSection(os, data);
+    writeCyclesSection(os, data);
     writePhasesSection(os, data);
     writeProfSection(os, data);
 

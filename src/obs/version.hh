@@ -32,8 +32,9 @@ class Json;
  *    1  ad-hoc fprintf layouts, one per bench
  *    2  shared obs::Json emitter; adds "machine" and "config"
  *    3  adds the "git_sha" build-identity stamp
+ *    4  adds the "cycle_stack" closed cycle-accounting block
  */
-constexpr int kBenchSchemaVersion = 3;
+constexpr int kBenchSchemaVersion = 4;
 
 /** BENCH_history.jsonl record layout version (see history.hh). */
 constexpr int kHistorySchemaVersion = 1;

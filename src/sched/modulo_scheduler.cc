@@ -305,6 +305,7 @@ moduloScheduleLoop(const BasicBlock &bb, const Machine &machine,
     }
 
     sb.ii = ii;
+    sb.minII = std::max(resMII, recMII);
     sb.pipelined = true;
     // Rotating register files rename kernel values per iteration in
     // hardware, making modulo variable expansion (and its buffer

@@ -52,6 +52,7 @@ struct SchedBlock
     bool isLoopBody = false;
     bool pipelined = false;
     int ii = 0;          ///< initiation interval (pipelined loops)
+    int minII = 0;       ///< max(ResMII, RecMII) lower bound
     int mveFactor = 1;   ///< modulo-variable-expansion copies
 
     /** Total real (non-NOP) ops across bundles. */

@@ -225,6 +225,7 @@ decodeOp(const SchedOp &so, FuncId f, const SchedFunction &sf,
         m.pipelined = body.pipelined;
         m.bodyLen = body.lengthCycles();
         m.ii = body.ii;
+        m.minII = body.minII;
         m.imageOps = body.imageOps();
         return m;
     }

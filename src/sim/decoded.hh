@@ -128,6 +128,7 @@ struct MicroOp
     std::int32_t loopId = -1;
     std::int32_t bodyLen = 0;
     std::int32_t ii = 0;
+    std::int32_t minII = 0;     ///< max(ResMII, RecMII) when pipelined
     std::int32_t imageOps = 0;
 
     // CALL argument / RET value list (XSrc) in extraSrcs.

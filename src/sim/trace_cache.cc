@@ -718,6 +718,9 @@ VliwSim::replayResident(LoopCtx &ctx, const DecodedFunction &df,
                    "bundle budget exceeded");
         stats_.bundles += n * tr.bundlesPerIter;
         stats_.cycles += n * tr.bundlesPerIter;
+        cycleStack_.charge(ctx.loopId,
+                           obs::CycleClass::IssueFromTraceReplay,
+                           n * tr.bundlesPerIter);
         stats_.opsFetched += n * tr.opsPerIter;
         stats_.opsFromBuffer += n * tr.opsPerIter;
         ls.opsFromBuffer += n * tr.opsPerIter;
@@ -740,6 +743,9 @@ VliwSim::replayResident(LoopCtx &ctx, const DecodedFunction &df,
                        "bundle budget exceeded");
             stats_.bundles += tr.bundlesPerIter;
             stats_.cycles += tr.bundlesPerIter;
+            cycleStack_.charge(ctx.loopId,
+                               obs::CycleClass::IssueFromTraceReplay,
+                               tr.bundlesPerIter);
             stats_.opsFetched += tr.opsPerIter;
             stats_.opsFromBuffer += tr.opsPerIter;
             ls.opsFromBuffer += tr.opsPerIter;

@@ -91,6 +91,38 @@ VliwSim::VliwSim(const SchedProgram &code, const SimConfig &cfg,
 
 VliwSim::~VliwSim() = default;
 
+void
+VliwSim::retireLoopStats(LoopCtx &ctx)
+{
+    LoopStats &ls = stats_.loops[ctx.loopId];
+    ls.iterations += ctx.iterations;
+    if (ctx.pipelined && ctx.fromBuffer && ctx.iterations > 1) {
+        // A pipelined buffered activation of N iterations retires in
+        // L + (N-1)*II cycles: subtract the already-charged
+        // difference, and remove the same cycles from the loop's
+        // issue classes so the stack stays closed. The loop's
+        // buffer-issued cycles are at least (N-1)*L ≥ the subtraction,
+        // so the uncharge never underflows the row.
+        const std::uint64_t save =
+            (ctx.iterations - 1) *
+            static_cast<std::uint64_t>(ctx.bodyLen - ctx.ii);
+        const std::uint64_t sub = std::min(stats_.cycles, save);
+        stats_.cycles -= sub;
+        cycleStack_.unchargeIssue(ctx.loopId, sub);
+        // Of the II cycles each steady-state iteration still costs,
+        // II - max(ResMII, RecMII) are scheduler slack: cycles an
+        // optimal modulo scheduler could recover. Reclassify them out
+        // of the issue credit (the post-subtraction balance is at
+        // least (N-1)*II ≥ (N-1)*(II-minII)).
+        if (ctx.minII > 0 && ctx.ii > ctx.minII) {
+            cycleStack_.reclassifySlack(
+                ctx.loopId,
+                (ctx.iterations - 1) *
+                    static_cast<std::uint64_t>(ctx.ii - ctx.minII));
+        }
+    }
+}
+
 const TraceCacheStats *
 VliwSim::traceCacheStats() const
 {
@@ -135,6 +167,7 @@ VliwSim::run(const std::vector<std::int64_t> &args)
     mem_ = prog.memory;
     stats_ = SimStats{};
     stats_.loops = loopTable_->proto;
+    cycleStack_.reset(stats_.loops.size());
     bundlesExecuted_ = 0;
     callDepth_ = 0;
     buffer_.clear();
@@ -194,14 +227,7 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
      * roll per-loop statistics.
      */
     auto retireLoop = [&](LoopCtx &ctx) {
-        LoopStats &ls = stats_.loops[ctx.loopId];
-        ls.iterations += ctx.iterations;
-        if (ctx.pipelined && ctx.fromBuffer && ctx.iterations > 1) {
-            const std::uint64_t save =
-                (ctx.iterations - 1) *
-                static_cast<std::uint64_t>(ctx.bodyLen - ctx.ii);
-            stats_.cycles -= std::min(stats_.cycles, save);
-        }
+        retireLoopStats(ctx);
         LBP_TRACE_EMIT(ts, obs::TraceKind::LoopExit, stats_.cycles,
                        ctx.loopId,
                        static_cast<std::int64_t>(ctx.iterations),
@@ -235,9 +261,11 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
         // active loop either way, so per-loop opsFromBuffer sums
         // exactly to the aggregate counter (the scorecard invariant).
         bool fromBuffer = false;
+        int issueRow = -1;
         if (!loopStack.empty()) {
             const LoopCtx &top = loopStack.back();
             if (curBlk == top.head) {
+                issueRow = top.loopId;
                 LoopStats &tls = stats_.loops[top.loopId];
                 if (top.fromBuffer) {
                     fromBuffer = true;
@@ -250,6 +278,11 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
         stats_.opsFetched += bu.sizeOps();
         if (fromBuffer)
             stats_.opsFromBuffer += bu.sizeOps();
+        cycleStack_.charge(issueRow,
+                           fromBuffer
+                               ? obs::CycleClass::IssueFromBuffer
+                               : obs::CycleClass::IssueFromMemory,
+                           1);
         LBP_TRACE_EMIT(ts,
                        fromBuffer ? obs::TraceKind::BufHit
                                   : obs::TraceKind::Fetch,
@@ -271,10 +304,19 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
         BlockId nextBlk = kNoBlock;
         size_t nextBu = 0;
         bool freeXfer = false;
+        // Class/row a non-free redirect is charged to (loop-control
+        // transfers override the plain-branch default).
+        obs::CycleClass redirCls =
+            obs::CycleClass::TakenBranchPenalty;
+        int redirRow = -1;
         const Operation *callOp = nullptr;
         const Operation *retOp = nullptr;
         bool sawControl = false;
-        auto takeRedirect = [&](BlockId blk, size_t buIdx, bool free) {
+        auto takeRedirect =
+            [&](BlockId blk, size_t buIdx, bool free,
+                obs::CycleClass cls =
+                    obs::CycleClass::TakenBranchPenalty,
+                int row = -1) {
             LBP_ASSERT(!sawControl,
                        "two control transfers in one bundle");
             sawControl = true;
@@ -282,6 +324,8 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
             nextBlk = blk;
             nextBu = buIdx;
             freeXfer = free;
+            redirCls = cls;
+            redirRow = row;
         };
 
         for (const auto &so : bu.ops) {
@@ -451,7 +495,10 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
                         }
                         // Loop-backs of buffered loops are free (the
                         // buffer predicts them taken while looping).
-                        takeRedirect(op.target, 0, ctx.buffered);
+                        takeRedirect(
+                            op.target, 0, ctx.buffered,
+                            obs::CycleClass::LoopControlOverhead,
+                            ctx.loopId);
                         if (ctx.buffered)
                             ctx.fromBuffer = true;
                     } else {
@@ -467,9 +514,9 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
                     ++ctx.iterations;
                     if (ctx.fromBuffer) {
                         ++stats_.loops[ctx.loopId].bufferIterations;
-                        stats_.branchPenaltyCycles +=
-                            cfg_.branchPenalty;
-                        stats_.cycles += cfg_.branchPenalty;
+                        chargeRedirect(
+                            obs::CycleClass::WhileExitPenalty,
+                            ctx.loopId);
                         LBP_TRACE_EMIT(ts, obs::TraceKind::Penalty,
                                        stats_.cycles, ctx.loopId,
                                        cfg_.branchPenalty,
@@ -509,8 +556,11 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
                     ++stats_.branchesTaken;
                     // Counted loop-backs of buffered loops are free;
                     // unbuffered ones redirect fetch like any taken
-                    // branch.
-                    takeRedirect(op.target, 0, ctx.buffered);
+                    // branch (charged as loop-control overhead).
+                    takeRedirect(
+                        op.target, 0, ctx.buffered,
+                        obs::CycleClass::LoopControlOverhead,
+                        ctx.loopId);
                     // After the first (recording) iteration, fetch
                     // shifts to the buffer.
                     if (ctx.buffered)
@@ -548,6 +598,7 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
                 ctx.pipelined = body.pipelined;
                 ctx.bodyLen = body.lengthCycles();
                 ctx.ii = body.ii;
+                ctx.minII = body.minII;
                 ctx.buffered = op.bufAddr >= 0;
                 LoopStats &ls = stats_.loops[ctx.loopId];
                 ++ls.activations;
@@ -586,8 +637,12 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
                     ctx.resumeBlock = curBlk;
                     ctx.resumeBundle = curBu + 1;
                     // Executing an already-buffered loop: no fetch
-                    // redirect cost.
-                    takeRedirect(op.target, 0, ctx.fromBuffer);
+                    // redirect cost; a cold entry is loop-control
+                    // overhead.
+                    takeRedirect(
+                        op.target, 0, ctx.fromBuffer,
+                        obs::CycleClass::LoopControlOverhead,
+                        ctx.loopId);
                 }
                 loopStack.push_back(ctx);
                 break;
@@ -697,8 +752,7 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
             LBP_ASSERT(loopStack.empty(),
                        "RET with live hardware-loop context in ",
                        fn.name);
-            stats_.branchPenaltyCycles += cfg_.branchPenalty;
-            stats_.cycles += cfg_.branchPenalty;
+            chargeRedirect(obs::CycleClass::CallReturnPenalty, -1);
             LBP_TRACE_EMIT(ts, obs::TraceKind::Penalty, stats_.cycles,
                            -1, cfg_.branchPenalty, obs::kPenaltyReturn);
             --callDepth_;
@@ -708,8 +762,7 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
             std::vector<std::int64_t> cargs;
             for (const auto &s : callOp->srcs)
                 cargs.push_back(readOperand(fr, s));
-            stats_.branchPenaltyCycles += cfg_.branchPenalty;
-            stats_.cycles += cfg_.branchPenalty;
+            chargeRedirect(obs::CycleClass::CallReturnPenalty, -1);
             LBP_TRACE_EMIT(ts, obs::TraceKind::Penalty, stats_.cycles,
                            -1, cfg_.branchPenalty, obs::kPenaltyCall);
             auto rets = callFunction(callOp->callee, cargs);
@@ -729,8 +782,7 @@ VliwSim::callFunction(FuncId f, const std::vector<std::int64_t> &args)
                 retireLoop(done);
             }
             if (!freeXfer) {
-                stats_.branchPenaltyCycles += cfg_.branchPenalty;
-                stats_.cycles += cfg_.branchPenalty;
+                chargeRedirect(redirCls, redirRow);
                 LBP_TRACE_EMIT(ts, obs::TraceKind::Penalty,
                                stats_.cycles, -1, cfg_.branchPenalty,
                                obs::kPenaltyBranch);

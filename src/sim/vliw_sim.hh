@@ -30,6 +30,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/cycle_stack.hh"
 #include "sched/schedule.hh"
 #include "sim/loop_buffer.hh"
 #include "support/arena.hh"
@@ -216,6 +217,7 @@ struct LoopCtx
     bool pipelined = false;
     int bodyLen = 0;          ///< schedule length L
     int ii = 0;
+    int minII = 0;            ///< max(ResMII, RecMII) when pipelined
     std::uint64_t iterations = 0;
     // Resume point for EXEC-entered loops.
     bool isExec = false;
@@ -270,6 +272,15 @@ class VliwSim
      * is disabled (config, env override, or REFERENCE engine).
      */
     const TraceCacheStats *traceCacheStats() const;
+
+    /**
+     * Closed per-loop cycle accounting for the last run (side-band,
+     * like TraceCacheStats — never part of the differentially
+     * compared SimStats, because the IssueFromTraceReplay refinement
+     * exists only in the decoded engine with the cache on). Totals
+     * sum exactly to SimStats::cycles in every configuration.
+     */
+    const obs::CycleStack &cycleStack() const { return cycleStack_; }
 
     /**
      * Per-ExecHandler rdtsc windows from the last SimConfig::opProf
@@ -327,11 +338,41 @@ class VliwSim
     bool opExecutes(const Frame &fr, const Operation &op,
                     int slot) const;
 
+    /**
+     * The single redirect charge site shared by both engines: the
+     * cycle cost, the legacy branchPenaltyCycles counter, and the
+     * cycle-stack attribution move together so class assignment
+     * cannot drift between executors. @p loopRow is the dense loop id
+     * the penalty belongs to (-1 = outside any loop).
+     */
+    void chargeRedirect(obs::CycleClass cls, int loopRow)
+    {
+        stats_.branchPenaltyCycles +=
+            static_cast<std::uint64_t>(cfg_.branchPenalty);
+        stats_.cycles +=
+            static_cast<std::uint64_t>(cfg_.branchPenalty);
+        cycleStack_.charge(
+            loopRow, cls,
+            static_cast<std::uint64_t>(cfg_.branchPenalty));
+    }
+
+    /**
+     * Shared loop-retire accounting (vliw_sim.cc): fold @p ctx's
+     * iteration count into its LoopStats, apply the pipelined-loop
+     * cycle model (an N-iteration buffered activation retires in
+     * L + (N-1)*II, so (N-1)*(L-II) issue cycles are uncharged), and
+     * reclassify the per-iteration II-minus-minII gap as
+     * SchedulerSlack. Engine-specific trace emission stays at the
+     * call sites.
+     */
+    void retireLoopStats(LoopCtx &ctx);
+
     const SchedProgram &code_;
     SimConfig cfg_;
     LoopBuffer buffer_;
     std::vector<std::uint8_t> mem_;
     SimStats stats_;
+    obs::CycleStack cycleStack_;
     std::uint64_t bundlesExecuted_ = 0;
     int callDepth_ = 0;
 

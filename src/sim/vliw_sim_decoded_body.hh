@@ -152,14 +152,7 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
      * roll per-loop statistics.
      */
     auto retireLoop = [&](LoopCtx &ctx) {
-        LoopStats &ls = stats_.loops[ctx.loopId];
-        ls.iterations += ctx.iterations;
-        if (ctx.pipelined && ctx.fromBuffer && ctx.iterations > 1) {
-            const std::uint64_t save =
-                (ctx.iterations - 1) *
-                static_cast<std::uint64_t>(ctx.bodyLen - ctx.ii);
-            stats_.cycles -= std::min(stats_.cycles, save);
-        }
+        retireLoopStats(ctx);
         DECODED_TRACE_EMIT(ts, obs::TraceKind::LoopExit, stats_.cycles,
                        ctx.loopId,
                        static_cast<std::int64_t>(ctx.iterations),
@@ -207,9 +200,9 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
                             // mispredicted (the buffer keeps
                             // replaying), exactly as on the general
                             // path.
-                            stats_.branchPenaltyCycles +=
-                                cfg_.branchPenalty;
-                            stats_.cycles += cfg_.branchPenalty;
+                            chargeRedirect(
+                                obs::CycleClass::WhileExitPenalty,
+                                done.loopId);
                         }
                         retireLoop(done);
                         if (done.isExec) {
@@ -243,9 +236,11 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
         // active loop either way, so per-loop opsFromBuffer sums
         // exactly to the aggregate counter (the scorecard invariant).
         bool fromBuffer = false;
+        int issueRow = -1;
         if (!loopStack.empty()) {
             const LoopCtx &top = loopStack.back();
             if (curBlk == top.head) {
+                issueRow = top.loopId;
                 LoopStats &tls = stats_.loops[top.loopId];
                 if (top.fromBuffer) {
                     fromBuffer = true;
@@ -258,6 +253,11 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
         stats_.opsFetched += bu.sizeOps;
         if (fromBuffer)
             stats_.opsFromBuffer += bu.sizeOps;
+        cycleStack_.charge(issueRow,
+                           fromBuffer
+                               ? obs::CycleClass::IssueFromBuffer
+                               : obs::CycleClass::IssueFromMemory,
+                           1);
         DECODED_TRACE_EMIT(ts,
                        fromBuffer ? obs::TraceKind::BufHit
                                   : obs::TraceKind::Fetch,
@@ -272,10 +272,16 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
         BlockId nextBlk = kNoBlock;
         size_t nextBu = 0;
         bool freeXfer = false;
+        obs::CycleClass redirCls = obs::CycleClass::TakenBranchPenalty;
+        int redirRow = -1;
         const MicroOp *callOp = nullptr;
         const MicroOp *retOp = nullptr;
         bool sawControl = false;
-        auto takeRedirect = [&](BlockId blk, size_t buIdx, bool free) {
+        auto takeRedirect =
+            [&](BlockId blk, size_t buIdx, bool free,
+                obs::CycleClass cls =
+                    obs::CycleClass::TakenBranchPenalty,
+                int row = -1) {
             LBP_ASSERT(!sawControl,
                        "two control transfers in one bundle");
             sawControl = true;
@@ -283,6 +289,8 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
             nextBlk = blk;
             nextBu = buIdx;
             freeXfer = free;
+            redirCls = cls;
+            redirRow = row;
         };
 
         const MicroOp *const opBase = df.ops.data();
@@ -455,7 +463,10 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
                         }
                         // Loop-backs of buffered loops are free (the
                         // buffer predicts them taken while looping).
-                        takeRedirect(m->target, 0, ctx.buffered);
+                        takeRedirect(m->target, 0, ctx.buffered,
+                                     obs::CycleClass::
+                                         LoopControlOverhead,
+                                     ctx.loopId);
                         if (ctx.buffered)
                             ctx.fromBuffer = true;
                     } else {
@@ -471,9 +482,9 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
                     ++ctx.iterations;
                     if (ctx.fromBuffer) {
                         ++stats_.loops[ctx.loopId].bufferIterations;
-                        stats_.branchPenaltyCycles +=
-                            cfg_.branchPenalty;
-                        stats_.cycles += cfg_.branchPenalty;
+                        chargeRedirect(
+                            obs::CycleClass::WhileExitPenalty,
+                            ctx.loopId);
                         DECODED_TRACE_EMIT(ts, obs::TraceKind::Penalty,
                                        stats_.cycles, ctx.loopId,
                                        cfg_.branchPenalty,
@@ -516,7 +527,9 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
                     // Counted loop-backs of buffered loops are free;
                     // unbuffered ones redirect fetch like any taken
                     // branch.
-                    takeRedirect(m->target, 0, ctx.buffered);
+                    takeRedirect(m->target, 0, ctx.buffered,
+                                 obs::CycleClass::LoopControlOverhead,
+                                 ctx.loopId);
                     // After the first (recording) iteration, fetch
                     // shifts to the buffer.
                     if (ctx.buffered)
@@ -549,6 +562,7 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
                 ctx.pipelined = m->pipelined;
                 ctx.bodyLen = m->bodyLen;
                 ctx.ii = m->ii;
+                ctx.minII = m->minII;
                 ctx.buffered = m->bufAddr >= 0;
                 LoopStats &ls = stats_.loops[m->loopId];
                 ++ls.activations;
@@ -589,7 +603,9 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
                     ctx.resumeBundle = curBu + 1;
                     // Executing an already-buffered loop: no fetch
                     // redirect cost.
-                    takeRedirect(m->target, 0, ctx.fromBuffer);
+                    takeRedirect(m->target, 0, ctx.fromBuffer,
+                                 obs::CycleClass::LoopControlOverhead,
+                                 ctx.loopId);
                 }
                 loopStack.push_back(ctx);
                 LBP_NEXT_OP;
@@ -711,8 +727,7 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
             LBP_ASSERT(loopStack.empty(),
                        "RET with live hardware-loop context in ",
                        df.fn->name);
-            stats_.branchPenaltyCycles += cfg_.branchPenalty;
-            stats_.cycles += cfg_.branchPenalty;
+            chargeRedirect(obs::CycleClass::CallReturnPenalty, -1);
             DECODED_TRACE_EMIT(ts, obs::TraceKind::Penalty, stats_.cycles,
                            -1, cfg_.branchPenalty, obs::kPenaltyReturn);
             --callDepth_;
@@ -724,8 +739,7 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
             for (std::uint32_t i = 0; i < callOp->xsrcCount; ++i)
                 cargs.push_back(
                     readSrc(dp.extraSrcs[callOp->xsrcBegin + i]));
-            stats_.branchPenaltyCycles += cfg_.branchPenalty;
-            stats_.cycles += cfg_.branchPenalty;
+            chargeRedirect(obs::CycleClass::CallReturnPenalty, -1);
             DECODED_TRACE_EMIT(ts, obs::TraceKind::Penalty, stats_.cycles,
                            -1, cfg_.branchPenalty, obs::kPenaltyCall);
             auto rets =
@@ -746,8 +760,7 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
                 retireLoop(done);
             }
             if (!freeXfer) {
-                stats_.branchPenaltyCycles += cfg_.branchPenalty;
-                stats_.cycles += cfg_.branchPenalty;
+                chargeRedirect(redirCls, redirRow);
                 DECODED_TRACE_EMIT(ts, obs::TraceKind::Penalty,
                                stats_.cycles, -1, cfg_.branchPenalty,
                                obs::kPenaltyBranch);

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * CycleStack unit tests: the row/charge mechanics, the retire-time
+ * uncharge drain order, slack reclassification, and the replay
+ * collapse — the pieces the engine hooks compose. The end-to-end
+ * closure invariants are asserted per workload in
+ * test_engine_differential.cc and test_loop_report.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/cycle_stack.hh"
+
+namespace lbp
+{
+namespace
+{
+
+using obs::CycleClass;
+using obs::CycleRow;
+using obs::CycleStack;
+
+TEST(CycleStack, ChargeRowsAndTotals)
+{
+    CycleStack cs;
+    cs.reset(2); // loops 0 and 1, plus the outside row
+    EXPECT_EQ(cs.numRows(), 3u);
+    EXPECT_EQ(cs.totalCycles(), 0u);
+
+    cs.charge(-1, CycleClass::IssueFromMemory, 5);
+    cs.charge(0, CycleClass::IssueFromBuffer, 7);
+    cs.charge(1, CycleClass::TakenBranchPenalty, 2);
+    cs.charge(1, CycleClass::TakenBranchPenalty, 1);
+
+    EXPECT_EQ(cs.row(-1)[static_cast<std::size_t>(
+                  CycleClass::IssueFromMemory)],
+              5u);
+    EXPECT_EQ(cs.row(0)[static_cast<std::size_t>(
+                  CycleClass::IssueFromBuffer)],
+              7u);
+    EXPECT_EQ(cs.row(1)[static_cast<std::size_t>(
+                  CycleClass::TakenBranchPenalty)],
+              3u);
+
+    const CycleRow t = cs.totals();
+    EXPECT_EQ(t[static_cast<std::size_t>(CycleClass::IssueFromMemory)],
+              5u);
+    EXPECT_EQ(cs.totalCycles(), 15u);
+}
+
+TEST(CycleStack, UnchargeDrainsMostSpecificIssueFirst)
+{
+    CycleStack cs;
+    cs.reset(1);
+    cs.charge(0, CycleClass::IssueFromMemory, 10);
+    cs.charge(0, CycleClass::IssueFromBuffer, 4);
+    cs.charge(0, CycleClass::IssueFromTraceReplay, 3);
+
+    // 5 cycles drain replay (3) then buffer (2); memory untouched.
+    cs.unchargeIssue(0, 5);
+    const CycleRow &r = cs.row(0);
+    EXPECT_EQ(r[static_cast<std::size_t>(
+                  CycleClass::IssueFromTraceReplay)],
+              0u);
+    EXPECT_EQ(r[static_cast<std::size_t>(CycleClass::IssueFromBuffer)],
+              2u);
+    EXPECT_EQ(r[static_cast<std::size_t>(CycleClass::IssueFromMemory)],
+              10u);
+
+    // Draining past all issue credit stops at zero.
+    cs.unchargeIssue(0, 100);
+    EXPECT_EQ(cs.totalCycles(), 0u);
+}
+
+TEST(CycleStack, ReclassifySlackMovesIssueIntoSlack)
+{
+    CycleStack cs;
+    cs.reset(1);
+    cs.charge(0, CycleClass::IssueFromBuffer, 6);
+    cs.charge(0, CycleClass::IssueFromTraceReplay, 2);
+
+    cs.reclassifySlack(0, 5); // replay 2, then buffer 3
+    const CycleRow &r = cs.row(0);
+    EXPECT_EQ(r[static_cast<std::size_t>(CycleClass::SchedulerSlack)],
+              5u);
+    EXPECT_EQ(r[static_cast<std::size_t>(
+                  CycleClass::IssueFromTraceReplay)],
+              0u);
+    EXPECT_EQ(r[static_cast<std::size_t>(CycleClass::IssueFromBuffer)],
+              3u);
+    // Reclassification conserves the total.
+    EXPECT_EQ(cs.totalCycles(), 8u);
+}
+
+TEST(CycleStack, CollapseReplayFoldsIntoBuffer)
+{
+    CycleRow r{};
+    r[static_cast<std::size_t>(CycleClass::IssueFromBuffer)] = 4;
+    r[static_cast<std::size_t>(CycleClass::IssueFromTraceReplay)] = 9;
+    r[static_cast<std::size_t>(CycleClass::CallReturnPenalty)] = 1;
+
+    const CycleRow c = CycleStack::collapseReplay(r);
+    EXPECT_EQ(c[static_cast<std::size_t>(CycleClass::IssueFromBuffer)],
+              13u);
+    EXPECT_EQ(c[static_cast<std::size_t>(
+                  CycleClass::IssueFromTraceReplay)],
+              0u);
+    EXPECT_EQ(
+        c[static_cast<std::size_t>(CycleClass::CallReturnPenalty)],
+        1u);
+}
+
+TEST(CycleStack, ClassNamesAreStableTokens)
+{
+    EXPECT_STREQ(obs::cycleClassName(CycleClass::IssueFromMemory),
+                 "issueFromMemory");
+    EXPECT_STREQ(obs::cycleClassName(CycleClass::IssueFromTraceReplay),
+                 "issueFromTraceReplay");
+    EXPECT_STREQ(obs::cycleClassName(CycleClass::SchedulerSlack),
+                 "schedulerSlack");
+}
+
+} // namespace
+} // namespace lbp

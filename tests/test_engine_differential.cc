@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "core/compiler.hh"
+#include "obs/cycle_stack.hh"
 #include "obs/publish.hh"
 #include "sim/vliw_sim.hh"
 #include "workloads/registry.hh"
@@ -63,6 +64,58 @@ expectLoopAttributionExact(const SimStats &st, const std::string &what)
     EXPECT_LE(fromBuffer + fromCache, st.opsFetched) << what;
 }
 
+/**
+ * The cycle-accounting invariant: the side-band CycleStack is closed
+ * (sum over classes == SimStats::cycles) and its per-loop rows
+ * integrate to the workload stack, class by class.
+ */
+void
+expectCycleStackClosed(const VliwSim &sim, const SimStats &st,
+                       const std::string &what)
+{
+    const obs::CycleStack &cs = sim.cycleStack();
+    ASSERT_EQ(cs.numRows(), st.loops.size() + 1) << what;
+    EXPECT_EQ(cs.totalCycles(), st.cycles)
+        << what << ": cycle stack is not closed";
+    const obs::CycleRow totals = cs.totals();
+    obs::CycleRow integral{};
+    for (std::size_t i = 0; i < cs.numRows(); ++i) {
+        const obs::CycleRow &row = cs.row(static_cast<int>(i) - 1);
+        for (std::size_t k = 0; k < obs::kNumCycleClasses; ++k)
+            integral[k] += row[k];
+    }
+    for (std::size_t k = 0; k < obs::kNumCycleClasses; ++k)
+        EXPECT_EQ(integral[k], totals[k])
+            << what << ": per-loop rows do not integrate for class "
+            << obs::cycleClassName(static_cast<obs::CycleClass>(k));
+}
+
+/**
+ * Replay is a decoded-engine-only refinement of buffer issue; folding
+ * it back (collapseReplay) must make the stacks of two engine
+ * configurations identical, row by row and class by class.
+ */
+void
+expectCollapsedStacksEqual(const VliwSim &a, const VliwSim &b,
+                           const std::string &what)
+{
+    const obs::CycleStack &ca = a.cycleStack();
+    const obs::CycleStack &cb = b.cycleStack();
+    ASSERT_EQ(ca.numRows(), cb.numRows()) << what;
+    for (std::size_t i = 0; i < ca.numRows(); ++i) {
+        const obs::CycleRow ra = obs::CycleStack::collapseReplay(
+            ca.row(static_cast<int>(i) - 1));
+        const obs::CycleRow rb = obs::CycleStack::collapseReplay(
+            cb.row(static_cast<int>(i) - 1));
+        for (std::size_t k = 0; k < obs::kNumCycleClasses; ++k)
+            EXPECT_EQ(ra[k], rb[k])
+                << what << ": collapsed stacks diverge at row " << i
+                << " class "
+                << obs::cycleClassName(
+                       static_cast<obs::CycleClass>(k));
+    }
+}
+
 class EngineDifferential
     : public ::testing::TestWithParam<std::string>
 {
@@ -87,16 +140,19 @@ TEST_P(EngineDifferential, DecodedMatchesReference)
                 sc.bufferOps = size;
                 sc.predMode = mode;
                 sc.engine = SimEngine::REFERENCE;
-                const SimStats ref = VliwSim(cr.code, sc).run();
+                VliwSim refSim(cr.code, sc);
+                const SimStats ref = refSim.run();
                 // Decoded engine twice: trace cache force-enabled
                 // and force-disabled, so both the replay path and
                 // the general path are pinned to the reference
                 // regardless of the LBP_SIM_NO_TRACE_CACHE default.
                 sc.engine = SimEngine::DECODED;
                 sc.traceCache = TraceCacheMode::On;
-                const SimStats dec = VliwSim(cr.code, sc).run();
+                VliwSim decSim(cr.code, sc);
+                const SimStats dec = decSim.run();
                 sc.traceCache = TraceCacheMode::Off;
-                const SimStats decOff = VliwSim(cr.code, sc).run();
+                VliwSim decOffSim(cr.code, sc);
+                const SimStats decOff = decOffSim.run();
                 EXPECT_EQ(ref.checksum, cr.goldenChecksum);
                 expectLoopAttributionExact(
                     ref, GetParam() + " reference engine size=" +
@@ -113,6 +169,16 @@ TEST_P(EngineDifferential, DecodedMatchesReference)
                     " size=" + std::to_string(size);
                 expectIdentical(ref, dec, what + " cache=on");
                 expectIdentical(ref, decOff, what + " cache=off");
+                expectCycleStackClosed(refSim, ref,
+                                       what + " reference");
+                expectCycleStackClosed(decSim, dec,
+                                       what + " cache=on");
+                expectCycleStackClosed(decOffSim, decOff,
+                                       what + " cache=off");
+                expectCollapsedStacksEqual(refSim, decSim,
+                                           what + " ref vs on");
+                expectCollapsedStacksEqual(refSim, decOffSim,
+                                           what + " ref vs off");
             }
         }
     }

@@ -95,7 +95,9 @@ TEST(LoopReport, ReasonAndFateNamesAreClosed)
 /** Compile + simulate helper for the join tests. */
 SimStats
 runWorkload(const std::string &name, CompileResult &cr, int bufferOps,
-            SimEngine engine = SimEngine::REFERENCE)
+            SimEngine engine = SimEngine::REFERENCE,
+            obs::CycleStack *csOut = nullptr,
+            TraceCacheMode tcMode = TraceCacheMode::Auto)
 {
     Program prog = workloads::buildWorkload(name);
     CompileOptions opts;
@@ -105,7 +107,12 @@ runWorkload(const std::string &name, CompileResult &cr, int bufferOps,
     SimConfig sc;
     sc.bufferOps = bufferOps;
     sc.engine = engine;
-    return VliwSim(cr.code, sc).run();
+    sc.traceCache = tcMode;
+    VliwSim sim(cr.code, sc);
+    SimStats st = sim.run();
+    if (csOut)
+        *csOut = sim.cycleStack();
+    return st;
 }
 
 TEST(LoopScorecard, JoinCoversEveryLoopWithAFate)
@@ -145,19 +152,39 @@ TEST(LoopScorecard, JoinCoversEveryLoopWithAFate)
 
 TEST(LoopScorecard, AttributionInvariantBothEnginesAllWorkloads)
 {
-    // The acceptance invariant: sum of per-loop buffer-issued ops ==
-    // SimStats::opsFromBuffer, in both engines, on every registered
-    // workload (buildLoopScorecard itself asserts it fatally; the
-    // EXPECT repeats it as a test-visible check).
+    // The acceptance invariants: sum of per-loop buffer-issued ops ==
+    // SimStats::opsFromBuffer, and the cycle stack closed (sum over
+    // classes == SimStats::cycles, per-loop rows integrating to the
+    // workload stack), in both engines with the trace cache forced on
+    // and off, on every registered workload (buildLoopScorecard
+    // itself asserts both fatally; the EXPECTs repeat them as
+    // test-visible checks).
+    struct EngineConfig
+    {
+        SimEngine engine;
+        TraceCacheMode tc;
+        const char *what;
+    };
+    const EngineConfig configs[] = {
+        {SimEngine::REFERENCE, TraceCacheMode::Auto, "reference"},
+        {SimEngine::DECODED, TraceCacheMode::On, "decoded cache=on"},
+        {SimEngine::DECODED, TraceCacheMode::Off,
+         "decoded cache=off"},
+    };
     for (const auto &w : workloads::allWorkloads()) {
-        for (SimEngine eng :
-             {SimEngine::REFERENCE, SimEngine::DECODED}) {
+        for (const EngineConfig &ec : configs) {
             CompileResult cr;
-            const SimStats st = runWorkload(w.name, cr, 256, eng);
-            const obs::LoopScorecard sc =
-                obs::buildLoopScorecard(w.name, cr.loopLog, st, 256);
+            obs::CycleStack cs;
+            const SimStats st =
+                runWorkload(w.name, cr, 256, ec.engine, &cs, ec.tc);
+            const obs::LoopScorecard sc = obs::buildLoopScorecard(
+                w.name, cr.loopLog, st, 256, nullptr, nullptr, &cs);
             EXPECT_EQ(obs::scorecardBufferOps(sc), st.opsFromBuffer)
-                << w.name;
+                << w.name << " " << ec.what;
+            EXPECT_TRUE(sc.hasCycles) << w.name << " " << ec.what;
+            EXPECT_EQ(sc.totalCycles, st.cycles)
+                << w.name << " " << ec.what
+                << ": cycle stack is not closed";
             for (const auto &row : sc.rows)
                 EXPECT_NE(row.fate, LoopFate::Unknown)
                     << w.name << "/" << row.name;

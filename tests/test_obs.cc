@@ -163,6 +163,44 @@ TEST(ObsRegistry, CsvContainsEveryMetric)
     EXPECT_NE(csv.find("histp99,h,3"), std::string::npos);
 }
 
+TEST(ObsRegistry, EmptyHistogramRendersNullQuantiles)
+{
+    // The NaN-poison policy extends to never-observed histograms:
+    // their quantiles are not 0 (a real observable value), they are
+    // unknown — JSON null, literal "null" in CSV and table — so a
+    // diff or gate against them fails loudly instead of silently
+    // comparing fabricated zeros.
+    obs::Registry r;
+    r.histogram("never"); // registered, zero observations
+    r.histogram("seen").add(3);
+
+    const Json doc = r.toJson();
+    const Json *h = doc.find("histograms")->find("never");
+    ASSERT_NE(h, nullptr);
+    ASSERT_NE(h->find("p50"), nullptr);
+    EXPECT_EQ(h->find("p50")->kind(), Json::Kind::Null);
+    EXPECT_EQ(h->find("p95")->kind(), Json::Kind::Null);
+    EXPECT_EQ(h->find("p99")->kind(), Json::Kind::Null);
+    // A populated histogram still renders numbers.
+    EXPECT_EQ(doc.find("histograms")
+                  ->find("seen")
+                  ->find("p50")
+                  ->asInt(),
+              3);
+
+    std::ostringstream csvOs;
+    r.writeCsv(csvOs);
+    const std::string csv = csvOs.str();
+    EXPECT_NE(csv.find("histp50,never,null"), std::string::npos);
+    EXPECT_NE(csv.find("histp95,never,null"), std::string::npos);
+    EXPECT_NE(csv.find("histp99,never,null"), std::string::npos);
+    EXPECT_NE(csv.find("histp50,seen,3"), std::string::npos);
+
+    std::ostringstream tblOs;
+    r.writeTable(tblOs);
+    EXPECT_NE(tblOs.str().find("p50=null"), std::string::npos);
+}
+
 TEST(ObsRegistry, PercentileNearestRankExactSmallSamples)
 {
     // Nearest-rank on explicit small samples, checked by hand.

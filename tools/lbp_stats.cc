@@ -9,9 +9,11 @@
  *   lbp_stats diff <a.json> <b.json>       field-by-field dump diff
  *   lbp_stats trace <workload> [options]   Chrome trace-event JSON
  *   lbp_stats loops <workload> [options]   per-loop scorecard
+ *   lbp_stats explain <a.json> <b.json>    cycle delta by class x loop
  *   lbp_stats history append <doc.json>    flatten + append one record
  *   lbp_stats history list                 one line per stored record
  *   lbp_stats history check <doc.json>     statistical regression gate
+ *   lbp_stats history prune --keep=N       keep newest N per source
  *   lbp_stats report <workload> [options]  single-file HTML report
  *   lbp_stats prof <workload> [options]    sampling self-profile
  *   lbp_stats --trace <workload>           alias for `trace`
@@ -36,6 +38,10 @@
  *                                    buffer gain (ops issued from the
  *                                    buffer), eviction count, or
  *                                    trace-cache bailout count
+ *   --cycles                         `loops` also prints the per-loop
+ *                                    cycle stack table
+ *   --keep=N                         `history prune` retention per
+ *                                    source
  *   --hz=N --reps=N                  `prof` sampling rate / workload
  *                                    repetitions (reps=0 sizes the
  *                                    run for a stable sample count)
@@ -54,12 +60,14 @@
  */
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -102,6 +110,8 @@ struct Options
     std::string sort = "ops";
     unsigned hz = obs::prof::kDefaultHz;
     int reps = 0;  ///< prof repetitions; 0 = auto (sample target)
+    int keep = 0;  ///< history prune: newest N records per source
+    bool cycles = false;  ///< loops: print the per-loop cycle stack
     bool verbose = false;
 };
 
@@ -116,12 +126,15 @@ usage()
         << "                 [--capacity=N] [--buffer=N] [--level=L]\n"
         << "       lbp_stats loops <workload> [--level=L] [--buffer=N]\n"
         << "                 [--engine=E] [--json=F] [--sort=S]\n"
+        << "                 [--cycles]\n"
+        << "       lbp_stats explain <a.json> <b.json>\n"
         << "       lbp_stats history append <doc.json> [--history=F]\n"
         << "                 [--source=NAME]\n"
         << "       lbp_stats history list [--history=F]\n"
         << "       lbp_stats history check <doc.json> [--history=F]\n"
         << "                 [--window=N] [--rel=X] [--abs=X]\n"
         << "                 [--madk=K] [--json=F] [--verbose]\n"
+        << "       lbp_stats history prune --keep=N [--history=F]\n"
         << "       lbp_stats report <workload> [--out=F] [--history=F]\n"
         << "                 [--level=L] [--buffer=N] [--engine=E]\n"
         << "       lbp_stats prof <workload> [--hz=N] [--reps=N]\n"
@@ -217,6 +230,10 @@ parseArgs(int argc, char **argv, Options &o)
             o.reps = std::atoi(v17);
             if (o.reps < 1)
                 o.reps = 1;
+        } else if (const char *v18 = val("--keep")) {
+            o.keep = std::atoi(v18);
+        } else if (arg == "--cycles") {
+            o.cycles = true;
         } else if (arg == "--verbose") {
             o.verbose = true;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -238,7 +255,8 @@ parseArgs(int argc, char **argv, Options &o)
 SimStats
 runWorkload(const Options &o, const std::string &name,
             obs::Registry &r, obs::TraceSink *trace,
-            CompileResult &cr, TraceCacheStats *tcOut = nullptr)
+            CompileResult &cr, TraceCacheStats *tcOut = nullptr,
+            obs::CycleStack *csOut = nullptr)
 {
     Program prog = workloads::buildWorkload(name);
     CompileOptions copts;
@@ -273,6 +291,9 @@ runWorkload(const Options &o, const std::string &name,
         if (tcOut)
             *tcOut = *tc;
     }
+    obs::publishCycleStack(r, sim.cycleStack());
+    if (csOut)
+        *csOut = sim.cycleStack();
     publishFetchEnergy(r,
                        computeFetchEnergy(stats, o.bufferOps));
     return stats;
@@ -526,14 +547,16 @@ cmdLoops(const Options &o)
     obs::Registry reg;
     CompileResult cr;
     TraceCacheStats tc;
+    obs::CycleStack cs;
     const SimStats stats = runWorkload(o, name, reg, nullptr, cr,
-                                       &tc);
+                                       &tc, &cs);
     const FetchEnergy fe = computeFetchEnergy(stats, o.bufferOps);
 
-    // The join asserts the headline invariant internally: the sum of
-    // per-loop buffer-issued ops equals sim.opsFromBuffer exactly.
+    // The join asserts the headline invariants internally: the sum of
+    // per-loop buffer-issued ops equals sim.opsFromBuffer exactly,
+    // and the cycle stack is closed over classes and loops.
     obs::LoopScorecard sc = obs::buildLoopScorecard(
-        name, cr.loopLog, stats, o.bufferOps, &fe, &tc);
+        name, cr.loopLog, stats, o.bufferOps, &fe, &tc, &cs);
 
     // Re-rank on request; the default build order is dynOps.
     if (o.sort != "ops") {
@@ -554,6 +577,10 @@ cmdLoops(const Options &o)
     obs::publishScorecard(reg, sc);
 
     obs::printScorecard(std::cout, sc);
+    if (o.cycles) {
+        std::cout << "\n";
+        obs::printScorecardCycles(std::cout, sc);
+    }
     if (!o.jsonPath.empty()) {
         if (!writeFile(o.jsonPath, [&](std::ostream &os) {
                 obs::scorecardToJson(sc).write(os);
@@ -600,6 +627,26 @@ cmdHistory(const Options &o)
         return 0;
     }
 
+    if (sub == "prune") {
+        if (o.positional.size() != 1)
+            return usage();
+        if (o.keep < 1) {
+            std::cerr << "history prune needs --keep=N (N >= 1)\n";
+            return 2;
+        }
+        std::string error;
+        int removed = 0;
+        if (!obs::pruneHistory(o.historyPath, o.keep, error,
+                               &removed)) {
+            std::cerr << error << "\n";
+            return 1;
+        }
+        std::cout << "pruned " << removed << " record(s) from "
+                  << o.historyPath << " (keeping newest " << o.keep
+                  << " per source)\n";
+        return 0;
+    }
+
     if (o.positional.size() != 2)
         return usage();
     const obs::Json doc = loadJson(o.positional[1]);
@@ -641,6 +688,171 @@ cmdHistory(const Options &o)
     return usage();
 }
 
+/**
+ * If @p key's last dotted segment names a CycleClass, return its
+ * index and leave the preceding segments in @p ctxTail; -1 otherwise.
+ * Registry dumps flatten "sim.cycles.issueFromBuffer" into one member
+ * name, while bench/scorecard documents nest {"cycle_stack":
+ * {"issueFromBuffer": N}} — matching the final segment covers both.
+ */
+int
+cycleClassOfKey(const std::string &key, std::string &ctxTail)
+{
+    const std::size_t cut = key.rfind('.');
+    const std::string seg =
+        cut == std::string::npos ? key : key.substr(cut + 1);
+    for (std::size_t k = 0; k < obs::kNumCycleClasses; ++k) {
+        if (seg == obs::cycleClassName(
+                       static_cast<obs::CycleClass>(k))) {
+            ctxTail =
+                cut == std::string::npos ? "" : key.substr(0, cut);
+            return static_cast<int>(k);
+        }
+    }
+    return -1;
+}
+
+using CycleRowD = std::array<double, obs::kNumCycleClasses>;
+
+/** Collect every cycle-class numeric leaf, grouped by context path. */
+void
+collectCycleLeaves(const obs::Json &node, const std::string &path,
+                   std::map<std::string, CycleRowD> &out)
+{
+    using obs::Json;
+    if (node.kind() == Json::Kind::Object) {
+        for (const auto &kv : node.members()) {
+            std::string tail;
+            const int k = cycleClassOfKey(kv.first, tail);
+            if (k >= 0 && kv.second.isNumber()) {
+                std::string ctx = path;
+                if (!tail.empty())
+                    ctx += ctx.empty() ? tail : "." + tail;
+                out[ctx][static_cast<std::size_t>(k)] +=
+                    kv.second.asDouble();
+            } else {
+                collectCycleLeaves(kv.second,
+                                   path.empty()
+                                       ? kv.first
+                                       : path + "." + kv.first,
+                                   out);
+            }
+        }
+    } else if (node.kind() == Json::Kind::Array) {
+        const auto &items = node.items();
+        for (std::size_t i = 0; i < items.size(); ++i)
+            collectCycleLeaves(items[i],
+                               path + "[" + std::to_string(i) + "]",
+                               out);
+    }
+}
+
+/**
+ * Decompose the simulated-cycle delta between two documents by
+ * CycleClass x context (loop row, workload stack, registry counter —
+ * any grouping either document carries). Prints the grand total, the
+ * per-class split, and every (context, class) mover ranked by |delta|.
+ */
+int
+cmdExplain(const Options &o)
+{
+    if (o.positional.size() != 2)
+        return usage();
+    const obs::Json a = loadJson(o.positional[0]);
+    const obs::Json b = loadJson(o.positional[1]);
+
+    std::map<std::string, CycleRowD> ma, mb;
+    collectCycleLeaves(a, "", ma);
+    collectCycleLeaves(b, "", mb);
+    if (ma.empty() && mb.empty()) {
+        std::cerr << "no cycle-class keys in either document "
+                     "(need schema v4+ bench JSON, a registry dump "
+                     "with sim.cycles.*, or a scorecard dump)\n";
+        return 1;
+    }
+
+    std::map<std::string, char> ctxs;
+    for (const auto &kv : ma)
+        ctxs[kv.first] = 1;
+    for (const auto &kv : mb)
+        ctxs[kv.first] = 1;
+
+    struct Entry
+    {
+        std::string ctx;
+        std::size_t cls;
+        double va, vb;
+    };
+    std::vector<Entry> entries;
+    CycleRowD clsA{}, clsB{};
+    double totA = 0, totB = 0;
+    for (const auto &ckv : ctxs) {
+        const CycleRowD ra = ma.count(ckv.first) ? ma[ckv.first]
+                                                 : CycleRowD{};
+        const CycleRowD rb = mb.count(ckv.first) ? mb[ckv.first]
+                                                 : CycleRowD{};
+        for (std::size_t k = 0; k < obs::kNumCycleClasses; ++k) {
+            clsA[k] += ra[k];
+            clsB[k] += rb[k];
+            totA += ra[k];
+            totB += rb[k];
+            if (ra[k] != rb[k])
+                entries.push_back({ckv.first, k, ra[k], rb[k]});
+        }
+    }
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry &x, const Entry &y) {
+                         return std::abs(x.vb - x.va) >
+                                std::abs(y.vb - y.va);
+                     });
+
+    auto num = [](double v) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return std::string(buf);
+    };
+    auto delta = [&](double va, double vb) {
+        const double d = vb - va;
+        return (d >= 0 ? "+" : "") + num(d);
+    };
+
+    std::cout << "cycle delta: " << o.positional[0] << " -> "
+              << o.positional[1] << "\n";
+    std::cout << "total: " << num(totA) << " -> " << num(totB)
+              << " (" << delta(totA, totB) << ")\n\nby class:\n";
+    for (std::size_t k = 0; k < obs::kNumCycleClasses; ++k) {
+        if (clsA[k] == 0 && clsB[k] == 0)
+            continue;
+        std::cout << "  "
+                  << obs::cycleClassName(
+                         static_cast<obs::CycleClass>(k))
+                  << ": " << num(clsA[k]) << " -> " << num(clsB[k])
+                  << " (" << delta(clsA[k], clsB[k]) << ")\n";
+    }
+
+    if (entries.empty()) {
+        std::cout << "\nno per-context movement: the stacks are "
+                     "identical\n";
+        return 0;
+    }
+    const std::size_t kMaxEntries = 40;
+    std::cout << "\nby context x class (ranked by |delta|):\n";
+    for (std::size_t i = 0;
+         i < entries.size() && i < kMaxEntries; ++i) {
+        const Entry &e = entries[i];
+        std::cout << "  " << (e.ctx.empty() ? "<root>" : e.ctx)
+                  << " . "
+                  << obs::cycleClassName(
+                         static_cast<obs::CycleClass>(e.cls))
+                  << ": " << num(e.va) << " -> " << num(e.vb)
+                  << " (" << delta(e.va, e.vb) << ")\n";
+    }
+    if (entries.size() > kMaxEntries)
+        std::cout << "  ... " << entries.size() - kMaxEntries
+                  << " further mover(s) elided\n";
+    return 0;
+}
+
 /** Core of the self-profile snapshot as report/dump JSON. */
 obs::Json
 profSnapshotJson(const obs::prof::Snapshot &snap)
@@ -677,11 +889,12 @@ cmdReport(const Options &o)
     obs::Registry reg;
     CompileResult cr;
     TraceCacheStats tc;
+    obs::CycleStack cs;
     const SimStats stats = runWorkload(o, name, reg, nullptr, cr,
-                                       &tc);
+                                       &tc, &cs);
     const FetchEnergy fe = computeFetchEnergy(stats, o.bufferOps);
     const obs::LoopScorecard sc = obs::buildLoopScorecard(
-        name, cr.loopLog, stats, o.bufferOps, &fe, &tc);
+        name, cr.loopLog, stats, o.bufferOps, &fe, &tc, &cs);
 
     obs::ReportData data;
     data.workload = name;
@@ -866,6 +1079,8 @@ main(int argc, char **argv)
         return cmdTrace(o);
     if (o.command == "loops")
         return cmdLoops(o);
+    if (o.command == "explain")
+        return cmdExplain(o);
     if (o.command == "history")
         return cmdHistory(o);
     if (o.command == "report")
