@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <thread>
 #include <tuple>
 
@@ -23,6 +24,111 @@ namespace lbp
 {
 namespace bench
 {
+
+bool
+parseBenchOptions(int argc, char **argv, unsigned mask,
+                  const std::string &defaultJsonPath,
+                  BenchOptions &o)
+{
+    o.jsonPath = defaultJsonPath;
+    auto usage = [&]() {
+        std::string u = "usage: ";
+        u += argv[0];
+        if (mask & kBenchFlagQuick)
+            u += " [--quick]";
+        if (mask & kBenchFlagJson)
+            u += " [--json[=PATH]]";
+        if (mask & kBenchFlagHistory)
+            u += " [--history[=PATH]]";
+        if (mask & kBenchFlagLoops)
+            u += " [--loops]";
+        if (mask & kBenchFlagThreads)
+            u += " [--threads=N]";
+        if (mask & kBenchFlagProf)
+            u += " [--prof]";
+        if (mask & kBenchFlagPmu)
+            u += " [--pmu]";
+        std::fprintf(stderr, "%s\n", u.c_str());
+        return false;
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if ((mask & kBenchFlagQuick) && arg == "--quick") {
+            o.quick = true;
+        } else if ((mask & kBenchFlagJson) && arg == "--json") {
+            o.json = true;
+        } else if ((mask & kBenchFlagJson) &&
+                   arg.rfind("--json=", 0) == 0) {
+            o.json = true;
+            o.jsonPath = arg.substr(7);
+        } else if ((mask & kBenchFlagHistory) &&
+                   arg == "--history") {
+            o.historyPath = "BENCH_history.jsonl";
+        } else if ((mask & kBenchFlagHistory) &&
+                   arg.rfind("--history=", 0) == 0) {
+            o.historyPath = arg.substr(10);
+        } else if ((mask & kBenchFlagLoops) && arg == "--loops") {
+            o.loops = true;
+        } else if ((mask & kBenchFlagThreads) &&
+                   arg.rfind("--threads=", 0) == 0) {
+            o.threads = std::atoi(arg.c_str() + 10);
+        } else if ((mask & kBenchFlagProf) && arg == "--prof") {
+            o.prof = true;
+        } else if ((mask & kBenchFlagPmu) && arg == "--pmu") {
+            o.pmu = true;
+        } else {
+            return usage();
+        }
+    }
+    // --history implies the JSON emission it snapshots.
+    if (!o.historyPath.empty())
+        o.json = true;
+    return true;
+}
+
+void
+startBenchPmu(const BenchOptions &o)
+{
+    if (!o.pmu)
+        return;
+    if (!obs::pmu::compiledIn()) {
+        std::fprintf(stderr, "--pmu: host counters compiled out "
+                             "(built with -DLBP_PMU=OFF)\n");
+        std::exit(1);
+    }
+    std::string why;
+    if (!obs::pmu::PmuSession::instance().start(&why))
+        std::printf("host pmu unavailable: %s (continuing without "
+                    "counters)\n",
+                    why.c_str());
+}
+
+obs::Json
+finishBenchPmu(const BenchOptions &o)
+{
+    using obs::Json;
+    if (!o.pmu) {
+        Json j = Json::object();
+        j.set("requested", Json::boolean(false));
+        j.set("available", Json::boolean(false));
+        j.set("reason", Json::str("not requested"));
+        return j;
+    }
+    obs::pmu::PmuSession &session =
+        obs::pmu::PmuSession::instance();
+    session.stop();
+    const obs::pmu::Snapshot snap = session.snapshot();
+    std::printf("\nhost pmu (per-region hardware counters)\n");
+    rule();
+    {
+        std::ostringstream os;
+        obs::pmu::printSnapshotTable(os, snap);
+        std::fputs(os.str().c_str(), stdout);
+    }
+    Json j = obs::pmu::snapshotJson(snap);
+    j.set("requested", Json::boolean(true));
+    return j;
+}
 
 const std::vector<int> &
 figureBufferSizes()
@@ -177,6 +283,7 @@ benchJsonDoc(const std::string &benchName)
               Json::boolean(LBP_THREADED_DISPATCH != 0));
     build.set("trace_hooks", Json::boolean(LBP_TRACE != 0));
     build.set("prof", Json::boolean(LBP_PROF != 0));
+    build.set("pmu", Json::boolean(LBP_PMU != 0));
     doc.set("build", std::move(build));
     return doc;
 }

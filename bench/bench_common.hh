@@ -15,6 +15,7 @@
 #include "core/metrics.hh"
 #include "obs/cycle_stack.hh"
 #include "obs/json.hh"
+#include "obs/pmu.hh"
 #include "power/fetch_energy.hh"
 #include "sim/trace_cache.hh"
 #include "sim/vliw_sim.hh"
@@ -24,6 +25,66 @@ namespace lbp
 {
 namespace bench
 {
+
+/** Flags a bench accepts — the parseBenchOptions mask. */
+enum BenchFlag : unsigned
+{
+    kBenchFlagQuick = 1u << 0,   ///< --quick
+    kBenchFlagJson = 1u << 1,    ///< --json[=PATH]
+    kBenchFlagHistory = 1u << 2, ///< --history[=PATH] (implies json)
+    kBenchFlagLoops = 1u << 3,   ///< --loops
+    kBenchFlagThreads = 1u << 4, ///< --threads=N
+    kBenchFlagProf = 1u << 5,    ///< --prof
+    kBenchFlagPmu = 1u << 6,     ///< --pmu
+};
+
+/**
+ * The flag set shared by the JSON-emitting benches, parsed once by
+ * parseBenchOptions instead of per-main copies of the argv loop.
+ */
+struct BenchOptions
+{
+    bool quick = false;
+    bool json = false;
+    bool loops = false;
+    bool prof = false;
+    bool pmu = false;
+    int threads = 0;         ///< 0 = hardware concurrency
+    std::string jsonPath;    ///< parseBenchOptions seeds the default
+    std::string historyPath; ///< empty = no history append
+};
+
+/**
+ * Parse argv against the flags named in @p mask (BenchFlag bits).
+ * `--history` implies `--json`. On an unknown or unaccepted flag,
+ * prints a usage line derived from the mask to stderr and returns
+ * false — callers `return 2`, the benches' historical usage exit
+ * code.
+ */
+bool parseBenchOptions(int argc, char **argv, unsigned mask,
+                       const std::string &defaultJsonPath,
+                       BenchOptions &o);
+
+/**
+ * Arm the host PMU session for a `--pmu` run (no-op otherwise).
+ * Exits 1 when the flag asks for a backend that is compiled out
+ * (mirrors --prof); a runtime open failure — restricted
+ * perf_event_paranoid, no hardware PMU — prints the reason and
+ * returns normally, so the run continues and the document records
+ * available=false.
+ */
+void startBenchPmu(const BenchOptions &o);
+
+/**
+ * Stop the `--pmu` session, print the per-region host-counter table,
+ * and return the document's "pmu" block. Always returns a block so
+ * every schema-v5 document has the key: without --pmu it is the
+ * deterministic {"requested":false, "available":false, reason} —
+ * bench baselines stay byte-reproducible on any host (the diff gate
+ * additionally skips "pmu" entirely, since requested runs are
+ * host-variant).
+ */
+obs::Json finishBenchPmu(const BenchOptions &o);
 
 /** The buffer sizes swept by Figure 7. */
 const std::vector<int> &figureBufferSizes();

@@ -9,7 +9,7 @@
  * relative increase).
  *
  * Usage: bench_fig7_buffer_issue [--json[=PATH]] [--history[=PATH]]
- *                                [--loops]
+ *                                [--loops] [--pmu]
  *   --json[=P]     machine-readable results (default
  *                  BENCH_fig7.json); fractions are deterministic, so
  *                  the dump is diffable counter-exact by the
@@ -18,6 +18,10 @@
  *                  BENCH_history.jsonl timeline (implies --json)
  *   --loops        per-loop scorecard for every workload
  *                  (aggressive, 256-op buffer) after the tables
+ *   --pmu          attribute host hardware counters (IPC,
+ *                  branch/cache misses) to the profiler's regions
+ *                  over the whole run; host-variant, so the "pmu"
+ *                  JSON block is recorded but never gated
  */
 
 #include <cstdio>
@@ -94,7 +98,8 @@ void
 writeJson(const std::string &path, const std::string &historyPath,
           const std::vector<Series> &trad,
           const std::vector<Series> &aggr, double headlineTrad,
-          double headlineAggr, const obs::CycleRow &cycles)
+          double headlineAggr, const obs::CycleRow &cycles,
+          obs::Json pmu)
 {
     using obs::Json;
     Json doc = benchJsonDoc("fig7");
@@ -136,6 +141,9 @@ writeJson(const std::string &path, const std::string &historyPath,
     // (aggressive, 256-op buffer), summed over every workload.
     doc.set("cycle_stack", cycleStackJson(cycles));
 
+    // Host-variant counters (PerPoint: recorded, never gated).
+    doc.set("pmu", std::move(pmu));
+
     writeBenchJson(path, doc);
     if (!historyPath.empty())
         appendBenchHistory(historyPath, doc);
@@ -146,31 +154,13 @@ writeJson(const std::string &path, const std::string &historyPath,
 int
 main(int argc, char **argv)
 {
-    bool json = false;
-    bool loops = false;
-    std::string jsonPath = "BENCH_fig7.json";
-    std::string historyPath;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--json") {
-            json = true;
-        } else if (arg.rfind("--json=", 0) == 0) {
-            json = true;
-            jsonPath = arg.substr(7);
-        } else if (arg == "--history") {
-            historyPath = "BENCH_history.jsonl";
-        } else if (arg.rfind("--history=", 0) == 0) {
-            historyPath = arg.substr(10);
-        } else if (arg == "--loops") {
-            loops = true;
-        } else {
-            std::fprintf(stderr,
-                         "usage: %s [--json[=PATH]] "
-                         "[--history[=PATH]] [--loops]\n",
-                         argv[0]);
-            return 2;
-        }
-    }
+    BenchOptions o;
+    if (!parseBenchOptions(argc, argv,
+                           kBenchFlagJson | kBenchFlagHistory |
+                               kBenchFlagLoops | kBenchFlagPmu,
+                           "BENCH_fig7.json", o))
+        return 2;
+    startBenchPmu(o);
 
     std::printf("=== Figure 7: instruction issue from the loop buffer "
                 "(%%) ===\n\n");
@@ -199,13 +189,12 @@ main(int argc, char **argv)
                     pct((a - t) / t).c_str());
     }
 
-    if (loops) {
+    if (o.loops) {
         std::printf("\n=== Per-loop scorecards (aggressive, 256-op "
                     "buffer) ===\n\n");
         dumpLoopScorecards(OptLevel::Aggressive, 256);
     }
-    // --history implies the JSON emission it snapshots.
-    if (json || !historyPath.empty()) {
+    if (o.json) {
         // Where the headline configuration's cycles go: one extra
         // run per workload at (aggressive, 256), stacks summed.
         obs::CycleRow cycles{};
@@ -218,7 +207,10 @@ main(int argc, char **argv)
             for (std::size_t k = 0; k < obs::kNumCycleClasses; ++k)
                 cycles[k] += row[k];
         }
-        writeJson(jsonPath, historyPath, trad, aggr, t, a, cycles);
+        writeJson(o.jsonPath, o.historyPath, trad, aggr, t, a,
+                  cycles, finishBenchPmu(o));
+    } else if (o.pmu) {
+        finishBenchPmu(o); // table only — no document to carry it
     }
     return 0;
 }

@@ -9,7 +9,7 @@
  * model (41.8x memory/buffer ratio at 256 ops / 512 KB, §7.2).
  *
  * Usage: bench_fig8b_power [--json[=PATH]] [--history[=PATH]]
- *                          [--loops]
+ *                          [--loops] [--pmu]
  *   --json[=P]     machine-readable results (default
  *                  BENCH_fig8b.json); energies are deterministic, so
  *                  the dump is diffable counter-exact by the
@@ -18,6 +18,10 @@
  *                  BENCH_history.jsonl timeline (implies --json)
  *   --loops        per-loop scorecard for every workload
  *                  (aggressive, 256-op buffer) after the table
+ *   --pmu          attribute host hardware counters (IPC,
+ *                  branch/cache misses) to the profiler's regions
+ *                  over the whole run; host-variant, so the "pmu"
+ *                  JSON block is recorded but never gated
  */
 
 #include <cstdio>
@@ -33,34 +37,13 @@ using namespace lbp::bench;
 int
 main(int argc, char **argv)
 {
-    bool json = false;
-    bool loops = false;
-    std::string jsonPath = "BENCH_fig8b.json";
-    std::string historyPath;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--json") {
-            json = true;
-        } else if (arg.rfind("--json=", 0) == 0) {
-            json = true;
-            jsonPath = arg.substr(7);
-        } else if (arg == "--history") {
-            historyPath = "BENCH_history.jsonl";
-        } else if (arg.rfind("--history=", 0) == 0) {
-            historyPath = arg.substr(10);
-        } else if (arg == "--loops") {
-            loops = true;
-        } else {
-            std::fprintf(stderr,
-                         "usage: %s [--json[=PATH]] "
-                         "[--history[=PATH]] [--loops]\n",
-                         argv[0]);
-            return 2;
-        }
-    }
-    // --history implies the JSON emission it snapshots.
-    if (!historyPath.empty())
-        json = true;
+    BenchOptions o;
+    if (!parseBenchOptions(argc, argv,
+                           kBenchFlagJson | kBenchFlagHistory |
+                               kBenchFlagLoops | kBenchFlagPmu,
+                           "BENCH_fig8b.json", o))
+        return 2;
+    startBenchPmu(o);
 
     std::printf("=== Figure 8b: normalized instruction fetch power "
                 "===\n\n");
@@ -118,12 +101,14 @@ main(int argc, char **argv)
     std::printf("average transformed-buffered reduction: %s "
                 "(paper: 72.3%%)\n", pct(1.0 - avgTrans).c_str());
 
-    if (loops) {
+    if (o.loops) {
         std::printf("\n=== Per-loop scorecards (aggressive, 256-op "
                     "buffer) ===\n\n");
         dumpLoopScorecards(OptLevel::Aggressive, 256);
     }
-    if (json) {
+    if (!o.json && o.pmu)
+        finishBenchPmu(o); // table only — no document to carry it
+    if (o.json) {
         using obs::Json;
         Json doc = benchJsonDoc("fig8b");
 
@@ -152,9 +137,12 @@ main(int argc, char **argv)
         // (aggressive, 256-op buffer), summed over every workload.
         doc.set("cycle_stack", cycleStackJson(cycles));
 
-        writeBenchJson(jsonPath, doc);
-        if (!historyPath.empty())
-            appendBenchHistory(historyPath, doc);
+        // Host-variant counters (PerPoint: recorded, never gated).
+        doc.set("pmu", finishBenchPmu(o));
+
+        writeBenchJson(o.jsonPath, doc);
+        if (!o.historyPath.empty())
+            appendBenchHistory(o.historyPath, doc);
     }
     return 0;
 }

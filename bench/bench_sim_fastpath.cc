@@ -27,6 +27,7 @@
  *
  * Usage: bench_sim_fastpath [--quick] [--json[=PATH]]
  *                           [--history[=PATH]] [--threads=N] [--prof]
+ *                           [--pmu]
  *   --quick        3 workloads, 2 buffer sizes (smoke / ctest perf)
  *   --json[=P]     write machine-readable timings (default path
  *                  BENCH_sim_fastpath.json in the working directory)
@@ -36,6 +37,10 @@
  *   --prof         sample the whole run with the lbp::obs::prof
  *                  self-profiler and print the region split (host
  *                  wall time only — never part of the JSON)
+ *   --pmu          attribute host hardware counters (IPC,
+ *                  branch/cache misses) to the same regions; the
+ *                  "pmu" JSON block is host-variant, recorded but
+ *                  never gated
  */
 
 #include <chrono>
@@ -174,7 +179,7 @@ writeJson(const std::string &path, const std::string &historyPath,
           double fastWallMs, double refSimMs, double fastSimMs,
           int threads, bool quick, const TraceCacheStats &tc,
           std::uint64_t fastOpsFromBuffer,
-          const obs::CycleRow &cycles)
+          const obs::CycleRow &cycles, obs::Json pmu)
 {
     using obs::Json;
 
@@ -251,6 +256,9 @@ writeJson(const std::string &path, const std::string &historyPath,
     // (decoded engine, trace cache on).
     doc.set("cycle_stack", cycleStackJson(cycles));
 
+    // Host-variant counters (PerPoint: recorded, never gated).
+    doc.set("pmu", std::move(pmu));
+
     Json pts = Json::array();
     for (const SweepPoint &p : points) {
         const SweepTask &t = tasks[p.task];
@@ -277,59 +285,33 @@ writeJson(const std::string &path, const std::string &historyPath,
 int
 main(int argc, char **argv)
 {
-    bool quick = false;
-    bool json = false;
-    bool prof = false;
-    std::string jsonPath = "BENCH_sim_fastpath.json";
-    std::string historyPath;
-    int threads = 0;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--quick") {
-            quick = true;
-        } else if (arg == "--json") {
-            json = true;
-        } else if (arg.rfind("--json=", 0) == 0) {
-            json = true;
-            jsonPath = arg.substr(7);
-        } else if (arg == "--history") {
-            historyPath = "BENCH_history.jsonl";
-        } else if (arg.rfind("--history=", 0) == 0) {
-            historyPath = arg.substr(10);
-        } else if (arg.rfind("--threads=", 0) == 0) {
-            threads = std::atoi(arg.c_str() + 10);
-        } else if (arg == "--prof") {
-            prof = true;
-        } else {
-            std::fprintf(stderr,
-                         "usage: %s [--quick] [--json[=PATH]] "
-                         "[--history[=PATH]] [--threads=N] "
-                         "[--prof]\n",
-                         argv[0]);
-            return 2;
-        }
-    }
-    if (prof && !obs::prof::compiledIn()) {
+    BenchOptions o;
+    if (!parseBenchOptions(argc, argv,
+                           kBenchFlagQuick | kBenchFlagJson |
+                               kBenchFlagHistory |
+                               kBenchFlagThreads | kBenchFlagProf |
+                               kBenchFlagPmu,
+                           "BENCH_sim_fastpath.json", o))
+        return 2;
+    if (o.prof && !obs::prof::compiledIn()) {
         std::fprintf(stderr, "--prof: profiler compiled out "
                              "(built with -DLBP_PROF=OFF)\n");
         return 1;
     }
-    if (prof &&
+    if (o.prof &&
         !obs::prof::Profiler::instance().start()) {
         std::fprintf(stderr, "--prof: cannot arm the sampling "
                              "timer on this system\n");
         return 1;
     }
-    // --history implies the JSON emission it snapshots.
-    if (!historyPath.empty())
-        json = true;
+    startBenchPmu(o);
 
     // Fail on an unwritable JSON path before the sweep, not after.
-    if (json) {
-        std::FILE *f = std::fopen(jsonPath.c_str(), "w");
+    if (o.json) {
+        std::FILE *f = std::fopen(o.jsonPath.c_str(), "w");
         if (!f) {
             std::fprintf(stderr, "cannot open %s for writing\n",
-                         jsonPath.c_str());
+                         o.jsonPath.c_str());
             return 1;
         }
         std::fclose(f);
@@ -337,7 +319,7 @@ main(int argc, char **argv)
 
     std::vector<std::string> names = benchNames();
     std::vector<int> sizes = figureBufferSizes();
-    if (quick) {
+    if (o.quick) {
         names.resize(std::min<std::size_t>(names.size(), 3));
         sizes = {32, 256};
     }
@@ -402,7 +384,7 @@ main(int argc, char **argv)
     // exactly the steady state the figure benches run in (every
     // figure reuses the same compilations); the cold-cache cost is
     // what pass 1 measured.
-    ThreadPool pool(threads);
+    ThreadPool pool(o.threads);
     std::printf("fast path (%d threads, cached compile, decoded "
                 "engine)...\n\n",
                 pool.threadCount());
@@ -477,7 +459,7 @@ main(int argc, char **argv)
                           static_cast<double>(fastOpsFromBuffer)
                     : 0.0);
 
-    if (prof) {
+    if (o.prof) {
         obs::prof::Profiler &pr = obs::prof::Profiler::instance();
         pr.stop();
         const obs::prof::Snapshot snap = pr.snapshot();
@@ -494,10 +476,12 @@ main(int argc, char **argv)
                             : 0.0);
     }
 
-    if (json)
-        writeJson(jsonPath, historyPath, names, sizes, tasks, points,
-                  refWallMs, fastWallMs, refSimMs, fastSimMs,
-                  pool.threadCount(), quick, tcTotal,
-                  fastOpsFromBuffer, cycleTotal);
+    if (o.json)
+        writeJson(o.jsonPath, o.historyPath, names, sizes, tasks,
+                  points, refWallMs, fastWallMs, refSimMs, fastSimMs,
+                  pool.threadCount(), o.quick, tcTotal,
+                  fastOpsFromBuffer, cycleTotal, finishBenchPmu(o));
+    else if (o.pmu)
+        finishBenchPmu(o); // table only — no document to carry it
     return 0;
 }

@@ -40,6 +40,15 @@
 #                 non-empty collapsed stacks; on an LBP_PROF=OFF
 #                 build the command degrades to a clear exit-1
 #                 message instead (both outcomes pass the case).
+#   pmu_smoke     `pmu` exits 0 on EVERY host: with a usable PMU it
+#                 prints the per-region counter table; without one
+#                 (VMs, containers, perf_event_paranoid, LBP_PMU=OFF)
+#                 it names the reason and the --json registry dump
+#                 publishes pmu.available=0. Both arms check the dump.
+#   explain_missing
+#                 `explain` on a document without cycle-class keys is
+#                 a diagnosable input error: exit 2, the message names
+#                 the offending file and lists the expected leaves.
 #   version       `--version` prints the schema triple, and the same
 #                 git SHA is stamped into every emitted JSON document.
 set -u
@@ -214,7 +223,7 @@ case "$CASE" in
     [ -s "$TMP/r.html" ] || fail "report wrote no output"
 
     for anchor in meta gate trajectories metrics histograms \
-                  scorecard cycles phases prof; do
+                  scorecard cycles phases prof pmu; do
         grep -q "id=\"$anchor\"" "$TMP/r.html" \
             || fail "report is missing section #$anchor"
     done
@@ -266,6 +275,50 @@ case "$CASE" in
     # Collapsed-stack lines are "path;leaf <count>".
     grep -qE '^[A-Za-z][^ ]* [0-9]+$' "$TMP/stacks.folded" \
         || fail "collapsed stacks are malformed"
+    ;;
+
+  pmu_smoke)
+    "$LBP_STATS" pmu adpcm_enc --reps=2 --json="$TMP/pmu.json" \
+        > "$TMP/pmu.txt" 2> "$TMP/pmu.err"
+    rc=$?
+    [ $rc -eq 0 ] || fail "pmu exited $rc, want 0 on every host"
+    [ -s "$TMP/pmu.json" ] || fail "pmu --json wrote no dump"
+    if grep -q 'host pmu unavailable' "$TMP/pmu.txt"; then
+        # The graceful arm: the reason is printed and the dump says
+        # available=0 — downstream tooling sees "no data", never a
+        # silent gap or a crash.
+        grep -q '"pmu\.available": 0' "$TMP/pmu.json" \
+            || fail "unavailable pmu should publish pmu.available=0"
+        grep -q '"pmu\.reason"' "$TMP/pmu.json" \
+            || fail "unavailable pmu should publish its reason"
+    else
+        grep -q 'region' "$TMP/pmu.txt" \
+            || fail "pmu output should print the region table"
+        grep -q 'attributed to named regions' "$TMP/pmu.txt" \
+            || fail "pmu output should report attribution quality"
+        grep -q '"pmu\.available": 1' "$TMP/pmu.json" \
+            || fail "available pmu should publish pmu.available=1"
+        grep -q '"pmu\.total\.cycles"' "$TMP/pmu.json" \
+            || fail "available pmu should publish total cycles"
+    fi
+    # The dump is a normal registry document either way.
+    grep -q '"sim\.cycles"' "$TMP/pmu.json" \
+        || fail "pmu --json should carry the workload's counters"
+    ;;
+
+  explain_missing)
+    "$LBP_STATS" run adpcm_dec --buffer=256 --json="$TMP/a.json" \
+        > /dev/null || fail "lbp_stats run --json exited nonzero"
+    printf '{"schema_version": 5, "bench": "empty"}\n' \
+        > "$TMP/empty.json"
+    "$LBP_STATS" explain "$TMP/empty.json" "$TMP/a.json" \
+        > "$TMP/out.txt" 2>&1
+    rc=$?
+    [ $rc -eq 2 ] || fail "explain on keyless doc exited $rc, want 2"
+    grep -q "no cycle-class keys in $TMP/empty.json" "$TMP/out.txt" \
+        || fail "error should name the offending file"
+    grep -q 'issueFromBuffer' "$TMP/out.txt" \
+        || fail "error should list the expected cycle classes"
     ;;
 
   version)

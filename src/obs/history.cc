@@ -377,6 +377,14 @@ classifyKey(const std::string &key)
     const std::string seg = lastSegment(key);
     if (seg == "threads" || seg == "description" || key == "bench")
         return KeyClass::Identity;
+    // Host PMU readings vary per machine and per run; never gate
+    // them. The trailing dot matters: "build.pmu" (the config bool)
+    // must stay Exact, so only the "pmu." namespaces match — either
+    // as the key's own prefix (bench docs flatten plain dotted) or as
+    // the unescaped metric name's prefix (registry dumps flatten each
+    // metric to one escaped segment).
+    if (key.rfind("pmu.", 0) == 0 || seg.rfind("pmu.", 0) == 0)
+        return KeyClass::PerPoint;
     // Bench docs use camelCase "...Ms" leaves; registry phase timers
     // are gauges named "compile.phase.NN_stage.ms", which flatten to
     // ONE escaped segment — so match ".ms" as a suffix of the

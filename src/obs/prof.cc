@@ -148,6 +148,12 @@ unsigned gHz = kDefaultHz;
 
 thread_local ThreadState *tlsState = nullptr;
 
+/** Region-transition observer (obs/pmu); nullptr when idle. */
+std::atomic<RegionHook> gRegionHook{nullptr};
+
+/** Handler probe bound; below kPathTableSize only under test. */
+std::atomic<std::size_t> gPathLimit{kPathTableSize};
+
 void
 sigprofHandler(int, siginfo_t *, void *)
 {
@@ -168,7 +174,9 @@ sigprofHandler(int, siginfo_t *, void *)
         key = (key << 8) |
               ts->stack[i].load(std::memory_order_relaxed);
     }
-    for (std::size_t i = 0; i < kPathTableSize; ++i) {
+    const std::size_t limit =
+        gPathLimit.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < limit; ++i) {
         const std::uint64_t k =
             ts->pathKey[i].load(std::memory_order_relaxed);
         if (k == key) {
@@ -293,6 +301,20 @@ resetTablesLocked()
 
 } // namespace
 
+void
+setRegionHook(RegionHook hook)
+{
+    gRegionHook.store(hook, std::memory_order_relaxed);
+}
+
+void
+setPathTableLimitForTest(std::size_t n)
+{
+    gPathLimit.store(n == 0 || n > kPathTableSize ? kPathTableSize
+                                                  : n,
+                     std::memory_order_relaxed);
+}
+
 std::uint8_t
 internRegion(const std::string &label)
 {
@@ -330,6 +352,9 @@ ScopedRegion::ScopedRegion(std::uint8_t id)
     // Slot must be visible before the depth that exposes it.
     std::atomic_signal_fence(std::memory_order_release);
     ts->depth.store(d + 1, std::memory_order_relaxed);
+    if (RegionHook hook =
+            gRegionHook.load(std::memory_order_relaxed))
+        hook(id);
 }
 
 ScopedRegion::~ScopedRegion()
@@ -342,6 +367,20 @@ ScopedRegion::~ScopedRegion()
     std::atomic_signal_fence(std::memory_order_release);
     if (d > 0)
         ts->depth.store(d - 1, std::memory_order_relaxed);
+    if (RegionHook hook =
+            gRegionHook.load(std::memory_order_relaxed)) {
+        // The new innermost after the pop: the slot below the one
+        // just vacated. Depths past kMaxStack never stored a slot,
+        // so clamp to the deepest stored id.
+        std::uint8_t inner =
+            static_cast<std::uint8_t>(Region::None);
+        if (d >= 2) {
+            const std::uint32_t slot =
+                std::min<std::uint32_t>(d - 2, kMaxStack - 1);
+            inner = ts->stack[slot].load(std::memory_order_relaxed);
+        }
+        hook(inner);
+    }
 }
 
 Profiler &

@@ -146,7 +146,28 @@ tsc()
 #endif
 }
 
+/**
+ * Region-transition observer: called by ScopedRegion with the new
+ * innermost region id after every push and pop on the calling
+ * thread. One consumer (obs/pmu reads hardware counters on each
+ * transition); installing a second overwrites the first. The hook
+ * runs on the transitioning thread, outside any profiler lock, and
+ * must not construct ScopedRegions. When no hook is installed the
+ * cost per transition is one relaxed load and a predicted branch.
+ */
+using RegionHook = void (*)(std::uint8_t innermost);
+
 #if LBP_PROF
+
+/** Install (or clear, with nullptr) the region-transition hook. */
+void setRegionHook(RegionHook hook);
+
+/**
+ * Test-only: cap the SIGPROF handler's path-table probe at @p n
+ * slots (0 restores kPathTableSize) so a unit test can force the
+ * dropped-sample path without generating 64 distinct stacks.
+ */
+void setPathTableLimitForTest(std::size_t n);
 
 /**
  * Intern @p label as a dynamic region id (idempotent per label).
@@ -208,6 +229,16 @@ class Profiler
 };
 
 #else // !LBP_PROF — inert stubs, byte-identical call sites
+
+inline void
+setRegionHook(RegionHook)
+{
+}
+
+inline void
+setPathTableLimitForTest(std::size_t)
+{
+}
 
 inline std::uint8_t
 internRegion(const std::string &)

@@ -33,8 +33,10 @@ class Json;
  *    2  shared obs::Json emitter; adds "machine" and "config"
  *    3  adds the "git_sha" build-identity stamp
  *    4  adds the "cycle_stack" closed cycle-accounting block
+ *    5  adds the "pmu" host-counter block (PerPoint: recorded,
+ *       never gated) and the "build.pmu" config bool
  */
-constexpr int kBenchSchemaVersion = 4;
+constexpr int kBenchSchemaVersion = 5;
 
 /** BENCH_history.jsonl record layout version (see history.hh). */
 constexpr int kHistorySchemaVersion = 1;

@@ -261,6 +261,21 @@ TEST(ObsHistory, ClassifyKeyPolicies)
     // literal segment is a plain Timing gauge name.
     EXPECT_EQ(obs::classifyKey("metrics.0\\.ms.v.ms"),
               KeyClass::Timing);
+
+    // Host PMU counters are host-variant by definition (different
+    // machine, different cycles), so the whole pmu block is per-point:
+    // recorded in the document, never gated. Both the bench-doc form
+    // and the registry's escaped-segment form classify the same way.
+    EXPECT_EQ(obs::classifyKey("pmu.regions.bench.cycles"),
+              KeyClass::PerPoint);
+    EXPECT_EQ(obs::classifyKey("pmu.available"),
+              KeyClass::PerPoint);
+    EXPECT_EQ(obs::classifyKey("metrics.pmu\\.total\\.ipc"),
+              KeyClass::PerPoint);
+    // The build-config bool is NOT a measurement: "build.pmu" must
+    // stay exact so differently-configured builds fail the gate
+    // loudly instead of averaging into one timeline.
+    EXPECT_EQ(obs::classifyKey("build.pmu"), KeyClass::Exact);
 }
 
 TEST(ObsHistory, PerPointKeysNeverRecordedNorGated)
@@ -545,8 +560,13 @@ TEST(ObsReport, HtmlIsSelfContainedWithAllSections)
     for (const char *anchor :
          {"id=\"meta\"", "id=\"gate\"", "id=\"trajectories\"",
           "id=\"metrics\"", "id=\"histograms\"", "id=\"scorecard\"",
-          "id=\"phases\"", "class=\"spark\"", "<svg"})
+          "id=\"phases\"", "id=\"pmu\"", "class=\"spark\"", "<svg"})
         EXPECT_NE(html.find(anchor), std::string::npos) << anchor;
+
+    // No pmu data in this document: the section renders an explicit
+    // placeholder, never silently disappears.
+    EXPECT_NE(html.find("no host counters in this document"),
+              std::string::npos);
 
     // Self-contained: no external fetches of any kind.
     EXPECT_EQ(html.find("http://"), std::string::npos);
@@ -555,6 +575,61 @@ TEST(ObsReport, HtmlIsSelfContainedWithAllSections)
 
     // Metric values pass through htmlEscape on the way in.
     EXPECT_EQ(obs::htmlEscape("a<b&\"c\""), "a&lt;b&amp;&quot;c&quot;");
+}
+
+TEST(ObsReport, ProfAndPmuSectionsCarryDiagnostics)
+{
+    obs::Registry reg;
+    obs::ReportData data;
+    data.workload = "unit";
+    data.registryDoc = reg.toJson();
+
+    // Profiler snapshot with lost samples: the subtitle must surface
+    // the drop count (the split under-counts whatever was dropped).
+    Json prof = Json::object();
+    prof.set("samples", Json::uinteger(90));
+    prof.set("untracked", Json::uinteger(5));
+    prof.set("dropped", Json::uinteger(10));
+    prof.set("attributed_fraction", Json::number(0.85));
+    Json profRegions = Json::object();
+    profRegions.set("bench", Json::uinteger(85));
+    prof.set("regions", std::move(profRegions));
+    data.prof = std::move(prof);
+
+    // An available pmu snapshot renders share bars with derived rates.
+    Json row = Json::object();
+    row.set("cycles", Json::uinteger(900));
+    row.set("ipc", Json::number(2.5));
+    row.set("branchMissPct", Json::number(1.25));
+    Json pmuRegions = Json::object();
+    pmuRegions.set("simDispatch", std::move(row));
+    Json total = Json::object();
+    total.set("cycles", Json::uinteger(1000));
+    Json pmu = Json::object();
+    pmu.set("available", Json::boolean(true));
+    pmu.set("attributedCycleFraction", Json::number(0.9));
+    pmu.set("regions", std::move(pmuRegions));
+    pmu.set("total", std::move(total));
+    data.pmu = std::move(pmu);
+
+    std::ostringstream os;
+    obs::writeHtmlReport(os, data);
+    const std::string html = os.str();
+    EXPECT_NE(html.find("samples dropped"), std::string::npos);
+    EXPECT_NE(html.find("simDispatch"), std::string::npos);
+    EXPECT_NE(html.find("ipc 2.5"), std::string::npos);
+    EXPECT_NE(html.find("br-miss 1.25"), std::string::npos);
+
+    // An unavailable snapshot renders its recorded reason verbatim.
+    Json off = Json::object();
+    off.set("available", Json::boolean(false));
+    off.set("reason", Json::str("perf_event_open: unit test"));
+    data.pmu = std::move(off);
+    std::ostringstream os2;
+    obs::writeHtmlReport(os2, data);
+    EXPECT_NE(os2.str().find(
+                  "host pmu unavailable: perf_event_open: unit test"),
+              std::string::npos);
 }
 
 } // namespace

@@ -154,6 +154,46 @@ TEST(ObsProf, SamplesAttributeToInnermostRegion)
     EXPECT_EQ(p.snapshot().samples, 0u);
 }
 
+/**
+ * Forcing the dropped-sample path: with the handler's probe bound
+ * capped at one slot, the first sampled path claims it and any
+ * sample under a different region stack has nowhere to land, so it
+ * must be counted in Snapshot::dropped (which the #prof report
+ * section surfaces) rather than silently discarded.
+ */
+TEST(ObsProf, PathTableOverflowCountsDroppedSamples)
+{
+    if (!prof::compiledIn())
+        GTEST_SKIP() << "profiler compiled out (LBP_PROF=0)";
+    prof::Profiler &p = prof::Profiler::instance();
+    p.reset();
+    prof::setPathTableLimitForTest(1);
+    ASSERT_TRUE(p.start());
+    {
+        // Claim the only slot with the "bench" path...
+        prof::ScopedRegion outer(prof::Region::Bench);
+        spinUntilSampled(1);
+        // ...then sample under a different stack until a drop lands
+        // (or the wall-clock cap says the timer is starved).
+        prof::ScopedRegion inner(prof::Region::SimDispatch);
+        const auto t0 = Clock::now();
+        while (p.snapshot().dropped == 0 &&
+               std::chrono::duration<double>(Clock::now() - t0)
+                       .count() < 2.0)
+            spin(5.0);
+    }
+    p.stop();
+    const prof::Snapshot snap = p.snapshot();
+    prof::setPathTableLimitForTest(0); // restore the real bound
+    p.reset();
+    if (snap.samples == 0)
+        GTEST_SKIP() << "timer starved (loaded CI host)";
+    if (snap.dropped == 0)
+        GTEST_SKIP() << "no second-path sample landed before the "
+                        "cap (loaded CI host)";
+    EXPECT_GT(snap.dropped, 0u);
+}
+
 TEST(ObsProf, ConcurrentThreadsSampleIndependently)
 {
     if (!prof::compiledIn())
