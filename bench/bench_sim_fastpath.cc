@@ -170,6 +170,13 @@ runFastTask(const SweepTask &t, std::vector<SweepPoint> &points,
     }
 }
 
+/** Per-workload replay aggregates (all levels/modes/sizes merged). */
+struct WorkloadReplay
+{
+    std::uint64_t replayedOps = 0;
+    std::uint64_t opsFromBuffer = 0;
+};
+
 void
 writeJson(const std::string &path, const std::string &historyPath,
           const std::vector<std::string> &names,
@@ -179,6 +186,7 @@ writeJson(const std::string &path, const std::string &historyPath,
           double fastWallMs, double refSimMs, double fastSimMs,
           int threads, bool quick, const TraceCacheStats &tc,
           std::uint64_t fastOpsFromBuffer,
+          const std::vector<WorkloadReplay> &perWorkload,
           const obs::CycleRow &cycles, obs::Json pmu)
 {
     using obs::Json;
@@ -249,6 +257,42 @@ writeJson(const std::string &path, const std::string &historyPath,
                      static_cast<TraceBailoutReason>(i)),
                  Json::uinteger(tc.bailoutsBy[i]));
     tcj.set("bailout", bail);
+    // Predicated-tier split (schema v6): the share of the aggregate
+    // above that ran through guarded/multi-control-op replay traces.
+    Json pr = Json::object();
+    pr.set("builds", Json::uinteger(tc.predReplay.builds));
+    pr.set("replays", Json::uinteger(tc.predReplay.replays));
+    pr.set("iterations", Json::uinteger(tc.predReplay.iterations));
+    pr.set("ops", Json::uinteger(tc.predReplay.ops));
+    pr.set("side_exits", Json::uinteger(tc.predReplay.sideExits));
+    pr.set("backedge_fallthroughs",
+           Json::uinteger(tc.predReplay.backedgeFallthroughs));
+    pr.set("mid_engagements",
+           Json::uinteger(tc.predReplay.midEngagements));
+    tcj.set("pred_replay", pr);
+    // Per-workload replay coverage (all levels/modes/sizes merged):
+    // the drill-down view behind the aggregate above. The whole
+    // "per_workload" namespace is classed PerPoint by the history
+    // gate — recorded for inspection, never gated — because adding
+    // or renaming a workload would otherwise break every old record;
+    // the gated signal is the aggregate replay_coverage.
+    Json perWl = Json::object();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const WorkloadReplay &w = perWorkload[i];
+        Json row = Json::object();
+        row.set("replayed_ops", Json::uinteger(w.replayedOps));
+        row.set("ops_from_buffer",
+                Json::uinteger(w.opsFromBuffer));
+        row.set("replay_coverage",
+                Json::number(w.opsFromBuffer
+                                 ? static_cast<double>(
+                                       w.replayedOps) /
+                                       static_cast<double>(
+                                           w.opsFromBuffer)
+                                 : 0.0));
+        perWl.set(names[i], row);
+    }
+    tcj.set("per_workload", perWl);
     doc.set("trace_cache", tcj);
 
     // Closed cycle accounting over every fast-pass point: the
@@ -401,11 +445,18 @@ main(int argc, char **argv)
     TraceCacheStats tcTotal;
     obs::CycleRow cycleTotal{};
     std::uint64_t fastOpsFromBuffer = 0;
-    for (const TaskAgg &a : aggs) {
+    std::vector<WorkloadReplay> perWorkload(names.size());
+    for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+        const TaskAgg &a = aggs[ti];
         accumulateTraceCacheStats(tcTotal, a.tc);
         for (std::size_t k = 0; k < obs::kNumCycleClasses; ++k)
             cycleTotal[k] += a.cycles[k];
         fastOpsFromBuffer += a.opsFromBuffer;
+        // Tasks are emitted in workload-major order: 4 (level, mode)
+        // tasks per workload.
+        WorkloadReplay &w = perWorkload[ti / 4];
+        w.replayedOps += a.tc.replayedOps;
+        w.opsFromBuffer += a.opsFromBuffer;
     }
     // The stack must close over the whole sweep: every fast-pass
     // point's cycles attributed to exactly one class.
@@ -480,7 +531,8 @@ main(int argc, char **argv)
         writeJson(o.jsonPath, o.historyPath, names, sizes, tasks,
                   points, refWallMs, fastWallMs, refSimMs, fastSimMs,
                   pool.threadCount(), o.quick, tcTotal,
-                  fastOpsFromBuffer, cycleTotal, finishBenchPmu(o));
+                  fastOpsFromBuffer, perWorkload, cycleTotal,
+                  finishBenchPmu(o));
     else if (o.pmu)
         finishBenchPmu(o); // table only — no document to carry it
     return 0;

@@ -7,8 +7,9 @@
 # (obs-labeled tests + a traced workload through lbp_stats), since the
 # trace ring and JSON parser are exactly the kind of index-arithmetic
 # code sanitizers pay for — plus the engine differential under the
-# LBP_SIM_NO_TRACE_CACHE env override, so both the replay path and the
-# general decoded path run sanitized — then a TSan build of the same
+# LBP_SIM_NO_TRACE_CACHE and LBP_SIM_NO_PRED_REPLAY env overrides, so
+# the predicated replay path, the fast-tier-only cache, and the
+# general decoded path all run sanitized — then a TSan build of the same
 # surface (thread pool + concurrent registry updates, and the
 # self-profiler's signal-handler-vs-marker concurrency through
 # tests/test_obs_prof.cc, which rides the obs label in both sanitizer
@@ -87,6 +88,13 @@ ctest --test-dir "$SAN_BUILD" --output-on-failure -L obs
 LBP_SIM_NO_TRACE_CACHE=1 \
     "$SAN_BUILD"/tests/lbp_sim_tests \
     --gtest_filter='*EngineDifferential*' --gtest_brief=1
+# Same differential with predicated replay disabled by env: Auto
+# resolves to fast-tier-only, sanitizing the strict classifier and
+# the escape hatch itself (the test's force-on leg keeps the
+# predicated replay path covered in the same run).
+LBP_SIM_NO_PRED_REPLAY=1 \
+    "$SAN_BUILD"/tests/lbp_sim_tests \
+    --gtest_filter='*EngineDifferential*' --gtest_brief=1
 # Profiler under ASan, by name: live sampling with concurrent region
 # markers (the SIGPROF handler's single-writer discipline).
 "$SAN_BUILD"/tests/lbp_obs_tests \
@@ -126,8 +134,16 @@ cmake -B "$TSAN_BUILD" -S . \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-O1 -g -fsanitize=thread"
 cmake --build "$TSAN_BUILD" -j "$(nproc)" \
-    --target lbp_obs_tests lbp_stats
+    --target lbp_obs_tests lbp_sim_tests lbp_stats
 ctest --test-dir "$TSAN_BUILD" --output-on-failure -L obs
+# Engine differential under TSan with predicated replay disabled by
+# env (same leg as the ASan pass): the sim is single-threaded, but
+# the differential drives the decoded engine through the threaded
+# dispatch tables, and the env override must behave identically in
+# every instrumented build.
+LBP_SIM_NO_PRED_REPLAY=1 \
+    "$TSAN_BUILD"/tests/lbp_sim_tests \
+    --gtest_filter='*EngineDifferential*' --gtest_brief=1
 # Profiler under TSan, by name (same cases as the ASan leg).
 "$TSAN_BUILD"/tests/lbp_obs_tests \
     --gtest_filter='ObsProf.ConcurrentThreadsSampleIndependently:ObsProf.SamplesAttributeToInnermostRegion' \

@@ -238,7 +238,7 @@ case "$CASE" in
 
   sort_reject)
     # The accepted keys all parse (and run a real scorecard).
-    for key in ops gain evictions bailouts; do
+    for key in ops gain evictions bailouts replay; do
         "$LBP_STATS" loops adpcm_enc --buffer=256 --sort="$key" \
             > /dev/null || fail "--sort=$key should be accepted"
     done
@@ -250,7 +250,7 @@ case "$CASE" in
     [ $rc -eq 2 ] || fail "unknown sort key exited $rc, want 2"
     grep -q "unknown sort key 'bogus'" "$TMP/err.txt" \
         || fail "error should name the rejected key"
-    grep -q 'ops|gain|evictions|bailouts' "$TMP/err.txt" \
+    grep -q 'ops|gain|evictions|bailouts|replay' "$TMP/err.txt" \
         || fail "error should list the accepted keys"
     ;;
 

@@ -385,6 +385,13 @@ classifyKey(const std::string &key)
     // metric to one escaped segment).
     if (key.rfind("pmu.", 0) == 0 || seg.rfind("pmu.", 0) == 0)
         return KeyClass::PerPoint;
+    // Per-workload drill-down blocks (e.g. the sim_fastpath
+    // trace_cache.per_workload.* coverage split) are recorded but
+    // never gated: the gated signal is the aggregate, and holding
+    // each workload's leaf exactly would turn every workload add or
+    // rename into a history break.
+    if (key.find(".per_workload.") != std::string::npos)
+        return KeyClass::PerPoint;
     // Bench docs use camelCase "...Ms" leaves; registry phase timers
     // are gauges named "compile.phase.NN_stage.ms", which flatten to
     // ONE escaped segment — so match ".ms" as a suffix of the

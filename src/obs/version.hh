@@ -35,8 +35,11 @@ class Json;
  *    4  adds the "cycle_stack" closed cycle-accounting block
  *    5  adds the "pmu" host-counter block (PerPoint: recorded,
  *       never gated) and the "build.pmu" config bool
+ *    6  sim_fastpath: adds trace_cache.pred_replay.* counters, the
+ *       trace_cache.per_workload.* coverage split (PerPoint), and
+ *       the nestedLoop/multiBackedge bailout reasons
  */
-constexpr int kBenchSchemaVersion = 5;
+constexpr int kBenchSchemaVersion = 6;
 
 /** BENCH_history.jsonl record layout version (see history.hh). */
 constexpr int kHistorySchemaVersion = 1;

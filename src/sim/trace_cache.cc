@@ -97,6 +97,9 @@ traceBailoutReasonName(TraceBailoutReason r)
       case TraceBailoutReason::CallInBody: return "callInBody";
       case TraceBailoutReason::MultiControlOp:
         return "multiControlOp";
+      case TraceBailoutReason::NestedLoop: return "nestedLoop";
+      case TraceBailoutReason::MultiBackedge:
+        return "multiBackedge";
       case TraceBailoutReason::BelowEngageThreshold:
         return "belowEngageThreshold";
       case TraceBailoutReason::Count: break;
@@ -105,26 +108,31 @@ traceBailoutReasonName(TraceBailoutReason r)
 }
 
 TraceBailoutReason
-classifyTraceBody(const LoopCtx &ctx, const DecodedFunction &df)
+classifyTraceBody(const LoopCtx &ctx, const DecodedFunction &df,
+                  bool predReplay)
 {
     const DecodedBlock &db = df.blocks[ctx.head];
     if (!db.valid || db.bundleCount == 0)
         return TraceBailoutReason::EmptyBody;
 
     // The backedge: the loop's own BR_CLOOP / BR_WLOOP back to the
-    // head, unguarded and non-sensitive (a predicated backedge could
-    // be nullified mid-activation, which replay does not model).
+    // head, non-sensitive; the strict tier also requires it
+    // unguarded (a predicated backedge could be nullified
+    // mid-activation, which only the predicated replay path models).
     const BackedgeLoc be = findBackedge(ctx, df);
     if (be.op == nullptr)
         return TraceBailoutReason::NoHeadBackedge;
-    if (be.op->guard != kNoPred)
+    if (be.op->guard != kNoPred && !predReplay)
         return TraceBailoutReason::GuardedBackedge;
     if (be.op->sensitive)
         return TraceBailoutReason::SlotSensitiveBackedge;
 
-    // Every other op up to the backedge bundle must be straight-line:
-    // any second control transfer (abnormal exit, nested loop, call)
-    // makes the body untraceable and the general path keeps it.
+    // Every other op up to the backedge bundle must be straight-line,
+    // or — predicated tier only — a side exit the replay loop can
+    // compile into a trace-exit check. Calls, nested loops and second
+    // backedges stay untraceable under either tier (a second backedge
+    // mutates the activation's own iteration state, which a side-exit
+    // check cannot model).
     for (std::int32_t bi = 0; bi <= be.bundle; ++bi) {
         const DecodedBundle &bu = df.bundles[db.firstBundle + bi];
         for (std::uint32_t oi = 0; oi < bu.count; ++oi) {
@@ -145,6 +153,28 @@ classifyTraceBody(const LoopCtx &ctx, const DecodedFunction &df)
               case ExecHandler::CALL:
               case ExecHandler::RET:
                 return TraceBailoutReason::CallInBody;
+              case ExecHandler::BR:
+                if (!predReplay)
+                    return TraceBailoutReason::MultiControlOp;
+                // A second while backedge is not a side exit: the
+                // general path's BR handler gives it loop-iteration
+                // semantics (only in a non-counted context).
+                if (!ctx.counted && m.op == Opcode::BR_WLOOP &&
+                    m.target == ctx.head)
+                    return TraceBailoutReason::MultiBackedge;
+                break;
+              case ExecHandler::JUMP:
+                if (!predReplay)
+                    return TraceBailoutReason::MultiControlOp;
+                break;
+              case ExecHandler::BR_CLOOP:
+                return predReplay
+                           ? TraceBailoutReason::MultiBackedge
+                           : TraceBailoutReason::MultiControlOp;
+              case ExecHandler::LOOP:
+                return predReplay
+                           ? TraceBailoutReason::NestedLoop
+                           : TraceBailoutReason::MultiControlOp;
               default:
                 return TraceBailoutReason::MultiControlOp;
             }
@@ -163,6 +193,14 @@ accumulateTraceCacheStats(TraceCacheStats &into,
     into.invalidations += from.invalidations;
     into.replayedIterations += from.replayedIterations;
     into.replayedOps += from.replayedOps;
+    into.predReplay.builds += from.predReplay.builds;
+    into.predReplay.replays += from.predReplay.replays;
+    into.predReplay.iterations += from.predReplay.iterations;
+    into.predReplay.ops += from.predReplay.ops;
+    into.predReplay.sideExits += from.predReplay.sideExits;
+    into.predReplay.backedgeFallthroughs +=
+        from.predReplay.backedgeFallthroughs;
+    into.predReplay.midEngagements += from.predReplay.midEngagements;
     for (std::size_t i = 0;
          i < static_cast<std::size_t>(TraceBailoutReason::Count);
          ++i)
@@ -181,8 +219,9 @@ accumulateTraceCacheStats(TraceCacheStats &into,
     }
 }
 
-TraceCache::TraceCache(std::size_t numLoops, bool slotMode)
-    : traces_(numLoops), slotMode_(slotMode)
+TraceCache::TraceCache(std::size_t numLoops, bool slotMode,
+                       bool predReplay)
+    : traces_(numLoops), slotMode_(slotMode), predReplay_(predReplay)
 {
     stats_.perLoop.resize(numLoops);
 }
@@ -241,12 +280,18 @@ TraceCache::build(LoopTrace &tr, const LoopCtx &ctx,
     // Static gating first: any verdict other than None is a body
     // shape the replay loop cannot reproduce bit-exactly, recorded on
     // the trace so each later declined activation knows its reason.
-    const TraceBailoutReason verdict = classifyTraceBody(ctx, df);
+    const TraceBailoutReason verdict =
+        classifyTraceBody(ctx, df, predReplay_);
     if (verdict != TraceBailoutReason::None) {
         tr.state = LoopTrace::State::Untraceable;
         tr.reason = verdict;
         return;
     }
+    // A body the strict tier rejects but the wide tier admits needs
+    // the predicated replay path (control ops stay in the stream).
+    tr.predicated =
+        predReplay_ &&
+        classifyTraceBody(ctx, df, false) != TraceBailoutReason::None;
 
     const DecodedBlock &db = df.blocks[ctx.head];
     const BackedgeLoc be = findBackedge(ctx, df);
@@ -289,8 +334,16 @@ TraceCache::build(LoopTrace &tr, const LoopCtx &ctx,
 
         for (std::uint32_t oi = 0; oi < bu.count; ++oi) {
             const MicroOp &m = df.ops[bu.first + oi];
-            if (&m == backedge)
-                continue;
+            if (&m == backedge) {
+                if (!tr.predicated)
+                    continue;
+                // Predicated traces keep the backedge in the stream
+                // so its guard and condition read live bundle-order
+                // state; readsEarlierWrite covers its operands the
+                // same way it covers every other op.
+                tr.beOpIndex =
+                    static_cast<std::uint32_t>(tr.ops.size());
+            }
             if (readsEarlierWrite(m))
                 direct = false;
             if (m.handler == ExecHandler::PRED_DEF) {
@@ -315,8 +368,10 @@ TraceCache::build(LoopTrace &tr, const LoopCtx &ctx,
             MicroOp copy = m;
             copy.alwaysExec = m.guard == kNoPred &&
                               !(slotMode_ && m.sensitive);
-            if (slotMode_ && m.sensitive)
+            if (slotMode_ && m.sensitive) {
                 ++tr.sensitivePerIter;
+                ++tb.sensOps;
+            }
             tr.ops.push_back(copy);
         }
         // Two slot writes in one cycle trip a conflict assert on the
@@ -326,7 +381,9 @@ TraceCache::build(LoopTrace &tr, const LoopCtx &ctx,
         // While backedges read their condition at the head of the
         // bundle in replay; that snapshot is only exact if nothing in
         // the bundle commits to the condition sources before it.
-        if (bi == beBundle && tr.wloop) {
+        // Predicated traces keep the backedge in stream order, where
+        // readsEarlierWrite already covered its operands.
+        if (bi == beBundle && tr.wloop && !tr.predicated) {
             for (const XSrc *s :
                  {&backedge->src[0], &backedge->src[1]}) {
                 if ((s->kind == XSrc::REG &&
@@ -352,11 +409,14 @@ TraceCache::build(LoopTrace &tr, const LoopCtx &ctx,
     tr.bundlesPerIter = static_cast<std::uint64_t>(beBundle) + 1;
     tr.state = LoopTrace::State::Ready;
     ++stats_.builds;
+    if (tr.predicated)
+        ++stats_.predReplay.builds;
 }
 
 ReplayResult
 VliwSim::replayResident(LoopCtx &ctx, const DecodedFunction &df,
-                        std::int64_t *regs, std::uint8_t *preds)
+                        std::int64_t *regs, std::uint8_t *preds,
+                        std::size_t startBundle)
 {
     TraceCache &tc = *traceCache_;
     LoopTrace &tr = tc.acquire(ctx, df);
@@ -366,6 +426,14 @@ VliwSim::replayResident(LoopCtx &ctx, const DecodedFunction &df,
             ctx.traceDeclined = true;
             tc.countBailout(ctx.loopId, tr.reason);
         }
+        return {};
+    }
+    if (startBundle != 0 &&
+        (!tr.predicated || startBundle >= tr.bundles.size())) {
+        // Arrival point outside the trace extent — or a fast-tier
+        // trace, which replays whole iterations from bundle 0 only.
+        // Not a bailout: the general path runs this bundle and the
+        // gate retries at the next head-block arrival.
         return {};
     }
 
@@ -413,16 +481,31 @@ VliwSim::replayResident(LoopCtx &ctx, const DecodedFunction &df,
     const TraceBundle *const buBase = tr.bundles.data();
     const std::size_t nBundles = tr.bundles.size();
     const bool wloop = tr.wloop;
+    const bool predicated = tr.predicated;
+    const std::size_t beIdx = tr.beOpIndex;
 
     // While-backedge condition operands, snapshotted at the head of
-    // the backedge bundle (exactness guaranteed by the build).
+    // the backedge bundle (exactness guaranteed by the build). Fast
+    // tier only: predicated traces evaluate the backedge op in
+    // stream order instead.
     std::int64_t beA = 0, beB = 0;
 
-    auto execIteration = [&]() {
+    // Per-bundle control outcome. Only predicated traces carry
+    // control ops, so the fast tier never sets these; the predicated
+    // driver resets them before each bundle.
+    bool sawControl = false;
+    bool backTaken = false;
+    bool backFell = false;
+    bool countedExit = false;
+    bool wloopExit = false;
+    bool sideTaken = false;
+    BlockId sideTgt = kNoBlock;
+
+    auto execBundles = [&](std::size_t biBegin, std::size_t biEnd) {
         LBP_DISPATCH_TABLE();
-        for (std::size_t bi = 0; bi < nBundles; ++bi) {
+        for (std::size_t bi = biBegin; bi < biEnd; ++bi) {
             const TraceBundle &tb = buBase[bi];
-            if (wloop && bi + 1 == nBundles) {
+            if (wloop && !predicated && bi + 1 == nBundles) {
                 beA = readSrc(tr.beSrc0);
                 beB = readSrc(tr.beSrc1);
             }
@@ -442,6 +525,20 @@ VliwSim::replayResident(LoopCtx &ctx, const DecodedFunction &df,
                     if (!exec &&
                         m->handler != ExecHandler::PRED_DEF) {
                         ++stats_.opsNullified;
+                        // Nullified branches still count as branches
+                        // on the general path (isBranch covers BR /
+                        // JUMP / BR_CLOOP / BR_WLOOP); a nullified
+                        // backedge means the iteration falls through
+                        // it and the activation stays live.
+                        if (predicated &&
+                            (m->handler == ExecHandler::BR ||
+                             m->handler == ExecHandler::JUMP ||
+                             m->handler == ExecHandler::BR_CLOOP)) {
+                            ++stats_.branches;
+                            if (static_cast<std::size_t>(
+                                    m - opBase) == beIdx)
+                                backFell = true;
+                        }
                         continue;
                     }
                 }
@@ -670,10 +767,75 @@ VliwSim::replayResident(LoopCtx &ctx, const DecodedFunction &df,
                     LBP_NEXT_OP;
                   }
 
-                  // Control never survives the build gating.
-                  LBP_HANDLER(BR)
-                  LBP_HANDLER(JUMP)
-                  LBP_HANDLER(BR_CLOOP)
+                  // Control ops survive the build gating only in
+                  // predicated traces: the activation's own backedge
+                  // (at beIdx) plus side exits. Each mirrors the
+                  // general path's handler semantics exactly; taken
+                  // transfers are resolved by the driver after the
+                  // bundle commits, like the general path's
+                  // end-of-bundle redirect.
+                  LBP_HANDLER(BR) {
+                    ++stats_.branches;
+                    const std::int64_t a = readSrc(m->src[0]);
+                    const std::int64_t b = readSrc(m->src[1]);
+                    const bool taken = evalCond(m->cond, a, b);
+                    if (wloop &&
+                        static_cast<std::size_t>(m - opBase) ==
+                            beIdx) {
+                        ++ctx.iterations;
+                        ++ls.bufferIterations;
+                        if (taken) {
+                            ++stats_.branchesTaken;
+                            LBP_ASSERT(!sawControl,
+                                       "two control transfers in one "
+                                       "bundle");
+                            sawControl = true;
+                            backTaken = true; // free buffered loop-back
+                        } else {
+                            wloopExit = true; // caller pays the penalty
+                        }
+                    } else if (taken) {
+                        ++stats_.branchesTaken;
+                        LBP_ASSERT(!sawControl,
+                                   "two control transfers in one "
+                                   "bundle");
+                        sawControl = true;
+                        sideTaken = true;
+                        sideTgt = m->target;
+                    }
+                    LBP_NEXT_OP;
+                  }
+
+                  LBP_HANDLER(JUMP) {
+                    ++stats_.branches;
+                    ++stats_.branchesTaken;
+                    LBP_ASSERT(!sawControl,
+                               "two control transfers in one bundle");
+                    sawControl = true;
+                    sideTaken = true;
+                    sideTgt = m->target;
+                    LBP_NEXT_OP;
+                  }
+
+                  LBP_HANDLER(BR_CLOOP) {
+                    // Only the loop's own backedge survives gating.
+                    ++stats_.branches;
+                    ++ctx.iterations;
+                    ++ls.bufferIterations;
+                    --ctx.remaining;
+                    if (ctx.remaining > 0) {
+                        ++stats_.branchesTaken;
+                        LBP_ASSERT(!sawControl,
+                                   "two control transfers in one "
+                                   "bundle");
+                        sawControl = true;
+                        backTaken = true; // free buffered loop-back
+                    } else {
+                        countedExit = true; // predicted fall-through
+                    }
+                    LBP_NEXT_OP;
+                  }
+
                   LBP_HANDLER(LOOP)
                   LBP_HANDLER(CALL)
                   LBP_HANDLER(RET) {
@@ -705,9 +867,83 @@ VliwSim::replayResident(LoopCtx &ctx, const DecodedFunction &df,
     };
 
     std::uint64_t iters = 0;
+    std::uint64_t opsIssued = 0;
     ReplayOutcome outcome;
 
-    if (!wloop) {
+    if (predicated) {
+        // Predicated tier: per-bundle driver. No bulk accounting —
+        // any bundle may end the engagement (taken side exit,
+        // backedge exit, nullified backedge), so every counter the
+        // general path moves per head-block bundle moves here per
+        // trace bundle, in the same order.
+        ++tcs.predReplay.replays;
+        if (startBundle != 0)
+            ++tcs.predReplay.midEngagements;
+        outcome = ReplayOutcome::NotEngaged;
+        std::size_t bi = startBundle;
+        for (;;) {
+            const TraceBundle &tb = buBase[bi];
+            LBP_ASSERT(++bundlesExecuted_ <= cfg_.maxBundles,
+                       "bundle budget exceeded");
+            ++stats_.bundles;
+            ++stats_.cycles;
+            cycleStack_.charge(ctx.loopId,
+                               obs::CycleClass::IssueFromTraceReplay,
+                               1);
+            stats_.opsFetched += tb.sizeOps;
+            stats_.opsFromBuffer += tb.sizeOps;
+            ls.opsFromBuffer += tb.sizeOps;
+            if (slotMode)
+                stats_.opsSensitive += tb.sensOps;
+            opsIssued += static_cast<std::uint64_t>(tb.sizeOps);
+
+            sawControl = false;
+            backTaken = false;
+            backFell = false;
+            countedExit = false;
+            wloopExit = false;
+            sideTaken = false;
+            execBundles(bi, bi + 1);
+
+            if (sideTaken) {
+                // The caller mirrors the general path's end-of-bundle
+                // redirect (context cancellation + taken-branch
+                // penalty); a same-bundle backedge exit retires the
+                // activation first (ctxDone below).
+                if (countedExit || wloopExit)
+                    ++iters;
+                outcome = ReplayOutcome::SideExit;
+                break;
+            }
+            if (backTaken) {
+                ++iters;
+                bi = 0;
+                continue;
+            }
+            if (countedExit) {
+                ++iters;
+                outcome = ReplayOutcome::CountedDone;
+                break;
+            }
+            if (wloopExit) {
+                ++iters;
+                outcome = ReplayOutcome::WloopExit;
+                break;
+            }
+            if (backFell) {
+                outcome = ReplayOutcome::BackedgeFellThrough;
+                break;
+            }
+            ++bi;
+            LBP_ASSERT(bi < nBundles, "replay ran past trace extent");
+        }
+        if (outcome == ReplayOutcome::SideExit)
+            ++tcs.predReplay.sideExits;
+        else if (outcome == ReplayOutcome::BackedgeFellThrough)
+            ++tcs.predReplay.backedgeFallthroughs;
+        tcs.predReplay.iterations += iters;
+        tcs.predReplay.ops += opsIssued;
+    } else if (!wloop) {
         // Counted: the iteration count is known now, so every
         // per-iteration counter is applied in one shot and the hot
         // loop below runs pure op semantics.
@@ -732,8 +968,9 @@ VliwSim::replayResident(LoopCtx &ctx, const DecodedFunction &df,
         ls.bufferIterations += n;
         ctx.remaining = 0;
         for (std::uint64_t it = 0; it < n; ++it)
-            execIteration();
+            execBundles(0, nBundles);
         iters = n;
+        opsIssued = n * tr.opsPerIter;
         outcome = ReplayOutcome::CountedDone;
     } else {
         outcome = ReplayOutcome::WloopExit;
@@ -751,7 +988,7 @@ VliwSim::replayResident(LoopCtx &ctx, const DecodedFunction &df,
             ls.opsFromBuffer += tr.opsPerIter;
             if (slotMode)
                 stats_.opsSensitive += tr.sensitivePerIter;
-            execIteration();
+            execBundles(0, nBundles);
             ++iters;
             ++stats_.branches;
             ++ctx.iterations;
@@ -760,16 +997,23 @@ VliwSim::replayResident(LoopCtx &ctx, const DecodedFunction &df,
                 break;  // while exit: the caller pays the penalty
             ++stats_.branchesTaken;
         }
+        opsIssued = iters * tr.opsPerIter;
     }
 
     tcs.replayedIterations += iters;
-    tcs.replayedOps += iters * tr.opsPerIter;
+    tcs.replayedOps += opsIssued;
     TraceCacheStats::PerLoop &pl = tcs.perLoop[ctx.loopId];
     ++pl.replays;
     pl.iterations += iters;
-    pl.ops += iters * tr.opsPerIter;
+    pl.ops += opsIssued;
 
-    return {outcome, tr.resumeBundle};
+    ReplayResult rr;
+    rr.outcome = outcome;
+    rr.resumeBundle = tr.resumeBundle;
+    rr.sideTarget = sideTgt;
+    rr.ctxDone = countedExit || wloopExit;
+    rr.whileExit = wloopExit;
+    return rr;
 }
 
 } // namespace lbp

@@ -16,15 +16,24 @@
  * bundle after the backedge (counted exit / while exit) or at the
  * EXEC resume point.
  *
- * Safety gating happens entirely at build time: a body qualifies only
- * if its sole control transfer is the loop's own unguarded,
- * non-sensitive backedge and every other op is from the straight-line
- * set (predicate defines, loads/stores, moves/converts/select, the
- * ALU family). Anything else — abnormal exits, nested loops, calls —
- * marks the loop Untraceable and the general path runs it forever
- * (counted per activation as a bailout). There are therefore no
- * mid-iteration bailout paths to keep bit-exact: a trace either
- * replays whole iterations or never engages.
+ * Safety gating happens entirely at build time. The fast tier
+ * qualifies a body whose sole control transfer is the loop's own
+ * unguarded, non-sensitive backedge with every other op from the
+ * straight-line set (predicate defines, loads/stores, moves/converts/
+ * select, the ALU family); such traces replay whole iterations with
+ * bulk-accounted counters. The predicated tier (the paper's own
+ * if-conversion move applied to the replay engine itself) widens
+ * capture to bodies whose extra control ops are side exits — guarded
+ * or conditional BR/JUMPs leaving the loop — and to guarded
+ * backedges: those traces keep the control ops in the op stream,
+ * evaluate their predicates from live machine state per iteration,
+ * and compile side exits into trace-exit checks that hand control
+ * back to the dispatch loop at the exact architectural point (the
+ * redirect target, with the same penalties and loop-context
+ * cancellation the general path would apply). Still untraceable:
+ * calls, nested loops, second backedges, slot-sensitive backedges —
+ * each named by its own TraceBailoutReason so the scorecard keeps
+ * saying which rule to widen next.
  *
  * Invalidation: when the loop buffer evicts a loop's image, the
  * trace dies with it (the hardware analogy: replay state cannot
@@ -67,11 +76,13 @@ enum class TraceBailoutReason : std::uint8_t
     Unknown,               ///< unclassified (must stay unreachable)
     EmptyBody,             ///< head block invalid or bundle-less
     NoHeadBackedge,        ///< loop backedge not in the head block
-    GuardedBackedge,       ///< backedge carries a guard predicate
+    GuardedBackedge,       ///< guarded backedge, pred replay disabled
     SlotSensitiveBackedge, ///< backedge is slot-predicate sensitive
     CallInBody,            ///< body calls (or returns) — frame churn
-    MultiControlOp,        ///< second control transfer in the body
-    BelowEngageThreshold,  ///< counted trip < kMinCountedReplayIters
+    MultiControlOp,        ///< extra control op, pred replay disabled
+    NestedLoop,            ///< body re-enters the loop machinery
+    MultiBackedge,         ///< a second backedge to the head
+    BelowEngageThreshold,  ///< counted trip < SimConfig::replayMinIters
     Count,
 };
 
@@ -87,11 +98,31 @@ const char *traceBailoutReasonName(TraceBailoutReason r);
 struct TraceCacheStats
 {
     std::uint64_t builds = 0;        ///< traces built (incl. rebuilds)
-    std::uint64_t replays = 0;       ///< engagements (≥1 iteration each)
+    std::uint64_t replays = 0;       ///< engagements
     std::uint64_t bailouts = 0;      ///< activations declined
     std::uint64_t invalidations = 0; ///< traces dropped on image eviction
     std::uint64_t replayedIterations = 0;
     std::uint64_t replayedOps = 0;   ///< ops issued from traces
+
+    /**
+     * The predicated-replay tier's share of the counters above, plus
+     * its own exit taxonomy. Published as
+     * sim.trace_cache.pred_replay.*; the fast tier's share is the
+     * difference against the aggregate counters.
+     */
+    struct PredReplay
+    {
+        std::uint64_t builds = 0;     ///< predicated traces built
+        std::uint64_t replays = 0;    ///< predicated engagements
+        std::uint64_t iterations = 0; ///< full predicated iterations
+        std::uint64_t ops = 0;        ///< ops issued predicated
+        std::uint64_t sideExits = 0;  ///< replays ended by a taken exit
+        /** Nullified-backedge hand-backs (activation stays live). */
+        std::uint64_t backedgeFallthroughs = 0;
+        /** Engagements that started at a nonzero trace bundle. */
+        std::uint64_t midEngagements = 0;
+    };
+    PredReplay predReplay;
 
     /** Per-reason split of bailouts; sums exactly to bailouts. */
     std::uint64_t bailoutsBy[static_cast<std::size_t>(
@@ -125,6 +156,13 @@ struct TraceBundle
     std::uint32_t count = 0;
     std::int32_t sizeOps = 0;   ///< fetch size (for bulk accounting)
     /**
+     * Slot-sensitive ops in the bundle (0 in REGISTER mode): the
+     * per-bundle opsSensitive charge of the predicated replay path,
+     * which cannot bulk-account per iteration because a side exit may
+     * end the iteration mid-body.
+     */
+    std::int32_t sensOps = 0;
+    /**
      * No op in the bundle reads register/predicate/slot state an
      * earlier op in the same bundle writes (and no load follows a
      * store), so writes can commit in place instead of through the
@@ -156,11 +194,25 @@ struct LoopTrace
     /** Build verdict when Untraceable; None while traceable. */
     TraceBailoutReason reason = TraceBailoutReason::None;
     bool wloop = false;              ///< backedge is BR_WLOOP
+    /**
+     * The trace carries control ops — a guarded backedge and/or side
+     * exits — and replays through the per-bundle predicated path
+     * instead of the bulk-accounted fast path. Predicated traces keep
+     * the backedge in the op stream (at beOpIndex) so its guard and
+     * condition read live state in bundle order.
+     */
+    bool predicated = false;
 
-    std::vector<MicroOp> ops;        ///< body ops, backedge excluded
+    /** Body ops; backedge excluded unless predicated. */
+    std::vector<MicroOp> ops;
     std::vector<TraceBundle> bundles;///< head bundles 0..backedge
 
+    /** Predicated only: the backedge's position in ops. */
+    std::uint32_t beOpIndex = 0;
+
     // While-loop backedge condition (read at the backedge bundle).
+    // Fast-tier traces only; predicated traces evaluate the backedge
+    // op in stream order.
     CmpCond beCond = CmpCond::EQ;
     XSrc beSrc0, beSrc1;
 
@@ -173,34 +225,28 @@ struct LoopTrace
 struct LoopCtx;
 
 /**
- * Counted loops engage replay only with at least this many iterations
- * left. A trace is a second copy of the body's micro-ops, cold on
- * every engagement after the recording iteration warmed the decoded
- * image; very short activations (unrolled 2–3-trip kernels) pay that
- * cold walk without enough iterations to amortize it and replay
- * slower than the general path. While loops cannot know their trip
- * count and always engage. Tuned on the registry sweep: mpg123's
- * 2-trip synthesis windows regress ~2.5x ungated, the 5–7-trip
- * mpeg2/jpeg kernels still win gated at 4.
- */
-constexpr std::int64_t kMinCountedReplayIters = 4;
-
-/**
  * Static build-gating verdict for @p ctx's body in @p df: None means
  * the body is traceable, anything else names the first rule it fails.
- * Pure classification — no trace is built, no counters move. Exposed
- * so tests can probe the taxonomy against synthetic decoded images
- * without driving a full activation; TraceCache::build() derives its
- * Untraceable verdicts from exactly this function.
+ * With @p predReplay the predicated tier's wider rules apply: guarded
+ * backedges and side-exit control ops (BR/JUMP leaving the loop) pass,
+ * while nested loops, second backedges, and calls stay named; without
+ * it the legacy strict verdicts (GuardedBackedge, MultiControlOp) are
+ * produced, which is what the LBP_SIM_NO_PRED_REPLAY escape hatch
+ * reverts to. Pure classification — no trace is built, no counters
+ * move. Exposed so tests can probe the taxonomy against synthetic
+ * decoded images without driving a full activation;
+ * TraceCache::build() derives its Untraceable verdicts from exactly
+ * this function.
  */
 TraceBailoutReason classifyTraceBody(const LoopCtx &ctx,
-                                     const DecodedFunction &df);
+                                     const DecodedFunction &df,
+                                     bool predReplay);
 
 /** Per-sim-instance trace store, keyed by interned dense loop id. */
 class TraceCache
 {
   public:
-    TraceCache(std::size_t numLoops, bool slotMode);
+    TraceCache(std::size_t numLoops, bool slotMode, bool predReplay);
 
     /**
      * The trace for @p ctx's loop, building it on first use. The
@@ -231,6 +277,7 @@ class TraceCache
     TraceCacheStats &stats() { return stats_; }
 
     bool slotMode() const { return slotMode_; }
+    bool predReplay() const { return predReplay_; }
 
   private:
     void build(LoopTrace &tr, const LoopCtx &ctx,
@@ -239,6 +286,7 @@ class TraceCache
     std::vector<LoopTrace> traces_;
     TraceCacheStats stats_;
     bool slotMode_;
+    bool predReplay_;
 };
 
 } // namespace lbp

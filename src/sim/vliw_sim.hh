@@ -151,6 +151,37 @@ enum class TraceCacheMode
     Off,
 };
 
+/**
+ * Predicated trace replay control (decoded engine, trace cache on).
+ *
+ * Auto — the default — enables the predicated tier unless the
+ * LBP_SIM_NO_PRED_REPLAY environment variable is set non-empty (the
+ * CI/check.sh hook for exercising the legacy strict gating under the
+ * full test matrix). On/Off force it regardless of the environment;
+ * the engine-differential test pins the off leg against reference,
+ * cache-on and cache-off.
+ */
+enum class PredReplayMode
+{
+    Auto,
+    On,
+    Off,
+};
+
+/**
+ * Counted loops engage replay only with at least this many iterations
+ * left (the default for SimConfig::replayMinIters). A trace is a
+ * second copy of the body's micro-ops, cold on every engagement after
+ * the recording iteration warmed the decoded image; very short
+ * activations (unrolled 2–3-trip kernels) pay that cold walk without
+ * enough iterations to amortize it and replay slower than the general
+ * path. While loops cannot know their trip count and always engage.
+ * Tuned on the registry sweep: mpg123's 2-trip synthesis windows
+ * regress ~2.5x ungated, the 5–7-trip mpeg2/jpeg kernels still win
+ * gated at 4.
+ */
+constexpr std::int64_t kMinCountedReplayIters = 4;
+
 /** Simulator configuration. */
 struct SimConfig
 {
@@ -174,6 +205,17 @@ struct SimConfig
 
     /** Resident-loop trace cache (see TraceCacheMode). */
     TraceCacheMode traceCache = TraceCacheMode::Auto;
+
+    /** Predicated trace replay tier (see PredReplayMode). */
+    PredReplayMode predReplay = PredReplayMode::Auto;
+
+    /**
+     * Minimum remaining iterations for a counted loop to engage trace
+     * replay (see kMinCountedReplayIters for the tuning rationale).
+     * The LBP_SIM_REPLAY_MIN_ITERS environment variable, when set to
+     * a non-negative integer, overrides this at VliwSim construction.
+     */
+    std::int64_t replayMinIters = kMinCountedReplayIters;
 
     /**
      * Cycle-level event tracing (obs/trace.hh). Null — the default —
@@ -236,12 +278,36 @@ enum class ReplayOutcome : std::uint8_t
     NotEngaged,  ///< untraceable body: general path runs the loop
     CountedDone, ///< counted exit — predicted, falls through free
     WloopExit,   ///< while exit from the buffer — mispredicted
+    /**
+     * Predicated tier: a non-backedge branch in the body was taken.
+     * The caller mirrors the general path's end-of-bundle redirect —
+     * loop-context cancellation, the taken-branch penalty, and fetch
+     * resuming at sideTarget bundle 0.
+     */
+    SideExit,
+    /**
+     * Predicated tier: the guarded backedge was nullified, so the
+     * iteration fell through it. The activation stays live and the
+     * general path resumes at resumeBundle of the head block.
+     */
+    BackedgeFellThrough,
 };
 
 struct ReplayResult
 {
     ReplayOutcome outcome = ReplayOutcome::NotEngaged;
     std::uint32_t resumeBundle = 0;  ///< head bundle after backedge
+    BlockId sideTarget = kNoBlock;   ///< SideExit redirect target
+    /**
+     * SideExit only: the backedge also executed its exit in the same
+     * bundle (counted count hit zero, or the while condition failed),
+     * so the caller must retire the activation before taking the
+     * side-exit redirect — exactly the order the general path's
+     * backedge handler + end-of-bundle redirect produce.
+     */
+    bool ctxDone = false;
+    /** With ctxDone: the exit was a while exit (pays the penalty). */
+    bool whileExit = false;
 };
 
 /** The simulator. */
@@ -326,13 +392,18 @@ class VliwSim
     /**
      * Replay the resident loop on top of the loop stack from its
      * cached trace (trace_cache.cc). Called from the untraced decoded
-     * body at the loop-head bundle-0 boundary; NotEngaged means the
-     * body is untraceable and the general path must run it.
+     * body at any bundle boundary inside the loop head; @p startBundle
+     * is the dispatcher's current bundle index, so a predicated trace
+     * can engage mid-activation (partial first iteration) instead of
+     * waiting for the next bundle-0 arrival. NotEngaged means the
+     * body is untraceable — or the arrival point is outside the trace
+     * extent — and the general path must run it.
      */
     ReplayResult replayResident(LoopCtx &ctx,
                                 const DecodedFunction &df,
                                 std::int64_t *regs,
-                                std::uint8_t *preds);
+                                std::uint8_t *preds,
+                                std::size_t startBundle);
 
     std::int64_t readOperand(const Frame &fr, const Operand &o) const;
     bool opExecutes(const Frame &fr, const Operation &op,

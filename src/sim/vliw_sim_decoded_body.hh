@@ -167,51 +167,105 @@ VliwSim::callFunctionDecodedImpl(FuncId f,
         const DecodedBlock &db = df.blocks[curBlk];
         LBP_ASSERT(db.valid, "sim in dead or unscheduled block");
 
-        // Trace-cache engagement: arriving at the head bundle of the
-        // innermost loop while it issues from the buffer is the replay
-        // condition. Untraced instantiation only — replay emits no
-        // events, and gating it to Traced=false keeps the traced event
-        // stream byte-identical by construction. A NotEngaged result
-        // (untraceable body) falls through to the general path.
+        // Trace-cache engagement: arriving anywhere in the head block
+        // of the innermost loop while it issues from the buffer is the
+        // replay condition (predicated traces can engage mid-bundle —
+        // a trace built on this activation starts paying off now; the
+        // fast tier and out-of-extent arrivals decline inside
+        // replayResident). Untraced instantiation only — replay emits
+        // no events, and gating it to Traced=false keeps the traced
+        // event stream byte-identical by construction. A NotEngaged
+        // result falls through to the general path; declines latch
+        // traceDeclined so resident-but-untraceable loops pay the
+        // gate once per activation, not once per bundle.
         if constexpr (!Traced) {
-            if (traceCache_ && curBu == 0 && !loopStack.empty()) {
+            if (traceCache_ && !loopStack.empty()) {
                 LoopCtx &top = loopStack.back();
                 if (top.head == curBlk && top.fromBuffer &&
-                    top.counted &&
-                    top.remaining < kMinCountedReplayIters) {
-                    // Residency without enough iterations left to
-                    // amortize a replay: a real bailout (the general
-                    // path runs the activation), attributed like any
-                    // build-gating decline — once per activation.
-                    if (!top.traceDeclined) {
+                    !top.traceDeclined) {
+                    if (top.counted &&
+                        top.remaining < cfg_.replayMinIters) {
+                        // Residency without enough iterations left to
+                        // amortize a replay: a real bailout (the
+                        // general path runs the activation),
+                        // attributed like any build-gating decline —
+                        // once per activation.
                         top.traceDeclined = true;
                         traceCache_->countBailout(
                             top.loopId,
                             TraceBailoutReason::BelowEngageThreshold);
-                    }
-                } else if (top.head == curBlk && top.fromBuffer) {
-                    const ReplayResult rr =
-                        replayResident(top, df, regs, preds);
-                    if (rr.outcome != ReplayOutcome::NotEngaged) {
-                        LoopCtx done = loopStack.back();
-                        loopStack.pop_back();
-                        if (rr.outcome == ReplayOutcome::WloopExit) {
-                            // While exits from the buffer are
-                            // mispredicted (the buffer keeps
-                            // replaying), exactly as on the general
-                            // path.
-                            chargeRedirect(
-                                obs::CycleClass::WhileExitPenalty,
-                                done.loopId);
-                        }
-                        retireLoop(done);
-                        if (done.isExec) {
-                            curBlk = done.resumeBlock;
-                            curBu = done.resumeBundle;
-                        } else {
+                    } else {
+                        const ReplayResult rr = replayResident(
+                            top, df, regs, preds, curBu);
+                        switch (rr.outcome) {
+                          case ReplayOutcome::NotEngaged:
+                            break;
+                          case ReplayOutcome::BackedgeFellThrough: {
+                            // The activation stays live; fetch falls
+                            // through the nullified backedge into the
+                            // head block's trailing bundles.
                             curBu = rr.resumeBundle;
+                            continue;
+                          }
+                          case ReplayOutcome::SideExit: {
+                            // Mirror the general path's end-of-bundle
+                            // redirect: a same-bundle backedge exit
+                            // retires the activation first, then
+                            // context cancellation and the
+                            // taken-branch penalty.
+                            if (rr.ctxDone) {
+                                LoopCtx done = loopStack.back();
+                                loopStack.pop_back();
+                                LBP_ASSERT(!done.isExec,
+                                           "two control transfers in "
+                                           "one bundle");
+                                if (rr.whileExit) {
+                                    chargeRedirect(
+                                        obs::CycleClass::
+                                            WhileExitPenalty,
+                                        done.loopId);
+                                }
+                                retireLoop(done);
+                            }
+                            while (!loopStack.empty() &&
+                                   loopStack.back().head == curBlk &&
+                                   rr.sideTarget !=
+                                       loopStack.back().head) {
+                                LoopCtx done = loopStack.back();
+                                loopStack.pop_back();
+                                retireLoop(done);
+                            }
+                            chargeRedirect(
+                                obs::CycleClass::TakenBranchPenalty,
+                                -1);
+                            curBlk = rr.sideTarget;
+                            curBu = 0;
+                            continue;
+                          }
+                          case ReplayOutcome::CountedDone:
+                          case ReplayOutcome::WloopExit: {
+                            LoopCtx done = loopStack.back();
+                            loopStack.pop_back();
+                            if (rr.outcome ==
+                                ReplayOutcome::WloopExit) {
+                                // While exits from the buffer are
+                                // mispredicted (the buffer keeps
+                                // replaying), exactly as on the
+                                // general path.
+                                chargeRedirect(
+                                    obs::CycleClass::WhileExitPenalty,
+                                    done.loopId);
+                            }
+                            retireLoop(done);
+                            if (done.isExec) {
+                                curBlk = done.resumeBlock;
+                                curBu = done.resumeBundle;
+                            } else {
+                                curBu = rr.resumeBundle;
+                            }
+                            continue;
+                          }
                         }
-                        continue;
                     }
                 }
             }

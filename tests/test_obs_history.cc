@@ -276,6 +276,17 @@ TEST(ObsHistory, ClassifyKeyPolicies)
     // stay exact so differently-configured builds fail the gate
     // loudly instead of averaging into one timeline.
     EXPECT_EQ(obs::classifyKey("build.pmu"), KeyClass::Exact);
+
+    // Per-workload drill-down blocks are recorded but never gated;
+    // the aggregate leaves next to them stay exact.
+    EXPECT_EQ(obs::classifyKey("trace_cache.per_workload.g724_dec"
+                               ".replay_coverage"),
+              KeyClass::PerPoint);
+    EXPECT_EQ(obs::classifyKey(
+                  "trace_cache.per_workload.adpcm_enc.replayed_ops"),
+              KeyClass::PerPoint);
+    EXPECT_EQ(obs::classifyKey("trace_cache.replay_coverage"),
+              KeyClass::Exact);
 }
 
 TEST(ObsHistory, PerPointKeysNeverRecordedNorGated)

@@ -34,12 +34,13 @@
  *   --history=FILE                   jsonl store (BENCH_history.jsonl)
  *   --source=NAME                    override the record source tag
  *   --window=N --rel=X --abs=X --madk=K   gate thresholds (history.hh)
- *   --sort=ops|gain|evictions|bailouts
+ *   --sort=ops|gain|evictions|bailouts|replay
  *                                    `loops` ranking key: total
  *                                    dynamic ops (default), realized
  *                                    buffer gain (ops issued from the
- *                                    buffer), eviction count, or
- *                                    trace-cache bailout count
+ *                                    buffer), eviction count,
+ *                                    trace-cache bailout count, or
+ *                                    trace-replayed op count
  *   --cycles                         `loops` also prints the per-loop
  *                                    cycle stack table
  *   --keep=N                         `history prune` retention per
@@ -230,9 +231,11 @@ parseArgs(int argc, char **argv, Options &o)
         } else if (const char *v15 = val("--sort")) {
             o.sort = v15;
             if (o.sort != "ops" && o.sort != "gain" &&
-                o.sort != "evictions" && o.sort != "bailouts") {
+                o.sort != "evictions" && o.sort != "bailouts" &&
+                o.sort != "replay") {
                 std::cerr << "unknown sort key '" << o.sort
-                          << "' (ops|gain|evictions|bailouts)\n";
+                          << "' (ops|gain|evictions|bailouts|"
+                             "replay)\n";
                 return false;
             }
         } else if (const char *v16 = val("--hz")) {
@@ -586,6 +589,8 @@ cmdLoops(const Options &o)
                 return r.opsFromBuffer;
             if (o.sort == "bailouts")
                 return r.bailouts;
+            if (o.sort == "replay")
+                return r.replayedOps;
             return r.evictions;
         };
         std::stable_sort(
